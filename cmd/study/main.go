@@ -1,0 +1,168 @@
+// Command study regenerates the tables and figures of "Bringing Order to
+// Sparsity" (SC '23) from the synthetic collection and machine models.
+//
+// Usage:
+//
+//	study [-exp all|fig1|fig2|fig3|fig4|fig5|fig6|table3|table4|table5|densecsr|artifact]
+//	      [-scale test|study|large] [-seed N] [-out DIR] [-v]
+//
+// Results are printed to stdout; with -out, artifact-format data files
+// (one per machine and kernel, as in the paper's Zenodo artifact) are also
+// written to DIR.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"sparseorder/internal/experiments"
+	"sparseorder/internal/gen"
+	"sparseorder/internal/machine"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("study: ")
+	exp := flag.String("exp", "all", "experiment to run: all, fig1..fig6, table3..table5, densecsr, findings, artifact")
+	scaleName := flag.String("scale", "test", "collection scale: test, study or large")
+	seed := flag.Int64("seed", 42, "collection seed")
+	out := flag.String("out", "", "directory for artifact-format data files")
+	verbose := flag.Bool("v", false, "log per-matrix progress to stderr")
+	repeats := flag.Int("repeats", 10, "host SpMV timing repetitions (best run is kept)")
+	flag.Parse()
+
+	var scale gen.Scale
+	switch *scaleName {
+	case "test":
+		scale = gen.ScaleTest
+	case "study":
+		scale = gen.ScaleStudy
+	case "large":
+		scale = gen.ScaleLarge
+	default:
+		log.Fatalf("unknown scale %q", *scaleName)
+	}
+	cfg := experiments.Config{Scale: scale, Seed: *seed, Repeats: *repeats}
+	if *verbose {
+		cfg.Logf = func(format string, args ...any) { log.Printf(format, args...) }
+	}
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+
+	// Experiments that need the full study run.
+	needStudy := *exp == "all" || *out != ""
+	for _, name := range []string{"fig2", "fig3", "fig5", "fig6", "table3", "table4", "artifact", "findings"} {
+		if *exp == name {
+			needStudy = true
+		}
+	}
+	var s *experiments.StudyResult
+	if needStudy {
+		var err error
+		s, err = experiments.RunStudy(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	emit := func(text string, err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(text)
+	}
+
+	if want("fig1") {
+		emit(experiments.RenderFig1(cfg))
+	}
+	if want("fig2") {
+		fmt.Println(experiments.RenderFig2(s))
+	}
+	if want("table3") {
+		fmt.Println(experiments.RenderTable3(s))
+	}
+	if want("fig3") {
+		fmt.Println(experiments.RenderFig3(s))
+	}
+	if want("table4") {
+		fmt.Println(experiments.RenderTable4(s))
+	}
+	if want("fig4") {
+		emit(experiments.RenderFig4(cfg))
+	}
+	if want("fig5") {
+		emit(experiments.RenderFig5(s))
+	}
+	if want("fig6") {
+		fmt.Println(experiments.RenderFig6(s))
+	}
+	if want("table5") {
+		emit(experiments.RenderTable5(cfg))
+	}
+	if want("densecsr") {
+		fmt.Println(experiments.RenderDenseCSRRef(cfg))
+	}
+	if want("findings") {
+		emit(experiments.RenderFindings(s))
+	}
+
+	if *out != "" || *exp == "artifact" {
+		dir := *out
+		if dir == "" {
+			dir = "artifact"
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		for _, mc := range machine.Table2 {
+			for _, k := range []machine.Kernel{machine.Kernel1D, machine.Kernel2D} {
+				name := fmt.Sprintf("csr%s_%s.txt", strings.ToLower(k.String()),
+					strings.ReplaceAll(strings.ToLower(mc.Name), " ", ""))
+				f, err := os.Create(filepath.Join(dir, name))
+				if err != nil {
+					log.Fatal(err)
+				}
+				if err := experiments.WriteArtifactFile(f, s, mc.Name, k); err != nil {
+					log.Fatal(err)
+				}
+				if err := f.Close(); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+		// Gnuplot pipeline for Figures 2 and 3, as in the paper's artifact.
+		for _, k := range []machine.Kernel{machine.Kernel1D, machine.Kernel2D} {
+			fig := "fig2"
+			if k == machine.Kernel2D {
+				fig = "fig3"
+			}
+			datName := fig + "_speedups.dat"
+			df, err := os.Create(filepath.Join(dir, datName))
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := experiments.WriteSpeedupDat(df, s, k); err != nil {
+				log.Fatal(err)
+			}
+			if err := df.Close(); err != nil {
+				log.Fatal(err)
+			}
+			gf, err := os.Create(filepath.Join(dir, fig+".gp"))
+			if err != nil {
+				log.Fatal(err)
+			}
+			title := "Speedup of " + k.String() + " SpMV after reordering"
+			if err := experiments.WriteSpeedupGnuplot(gf, datName, fig+".png", title); err != nil {
+				log.Fatal(err)
+			}
+			if err := gf.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}
+		log.Printf("wrote artifact files to %s", dir)
+	}
+}

@@ -1,0 +1,39 @@
+// Package sparseorder is a from-scratch Go reproduction of the SC '23
+// study "Bringing Order to Sparsity: A Sparse Matrix Reordering Study on
+// Multicore CPUs" (Trotter, Ekmekçibaşı, Langguth, Torun, Düzakın, Ilic,
+// Unat; https://doi.org/10.1145/3581784.3607046).
+//
+// The package exposes everything the study builds on:
+//
+//   - CSR/COO sparse matrices with Matrix Market I/O and symmetric,
+//     row-only and column permutations;
+//   - the six reordering algorithms of the study — Reverse Cuthill-McKee,
+//     approximate minimum degree, nested dissection, METIS-style graph
+//     partitioning, PaToH-style column-net hypergraph partitioning and the
+//     Gray (bitmap) ordering — all implemented here with the standard
+//     library only;
+//   - the two shared-memory parallel SpMV kernels (1D even row split and
+//     2D even nonzero split);
+//   - the order-sensitive features (bandwidth, profile, off-diagonal
+//     nonzero count, load-imbalance factor);
+//   - Cholesky fill-in analysis via elimination trees and the
+//     Gilbert-Ng-Peyton column counts;
+//   - models of the study's eight multicore machines for reproducing the
+//     cross-architecture experiments, and a deterministic synthetic matrix
+//     collection standing in for the SuiteSparse corpus.
+//
+// The quickest start:
+//
+//	a := sparseorder.Collection(sparseorder.ScaleTest, 42)[0].A
+//	b, perm, err := sparseorder.Reorder(sparseorder.GP, a, sparseorder.OrderingOptions{})
+//	// multiply: y = b·x with the nonzero-balanced kernel
+//	plan, _ := sparseorder.NewPlan2D(b, 8)
+//	sparseorder.SpMV2D(b, x, y, plan)
+//	_ = perm
+//	_ = err
+//
+// The experiment harness that regenerates every table and figure of the
+// paper lives in cmd/study; DESIGN.md maps each experiment to the modules
+// that implement it and EXPERIMENTS.md records reproduced-vs-paper
+// results.
+package sparseorder

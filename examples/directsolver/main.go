@@ -1,0 +1,82 @@
+// directsolver demonstrates the study's §4.6 story end to end with a real
+// factorisation: choosing a fill-reducing ordering before sparse Cholesky
+// cuts both the memory of the factor and the factorisation time, then the
+// factor solves many right-hand sides cheaply.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"sparseorder/internal/cholesky"
+	"sparseorder/internal/gen"
+	"sparseorder/internal/reorder"
+	"sparseorder/internal/sparse"
+	"sparseorder/internal/spmv"
+)
+
+func main() {
+	log.SetFlags(0)
+	a := gen.Scramble(gen.Grid2D(64, 64), 7)
+	n := a.Rows
+	fmt.Printf("factorising a %dx%d SPD system (%d nnz), scrambled order\n", n, n, a.NNZ())
+	fmt.Printf("%-10s %12s %10s %12s %12s\n", "order", "nnz(L)", "fill", "flops", "factor time")
+
+	type choice struct {
+		name reorder.Algorithm
+	}
+	var factors []*cholesky.Factor
+	var perms []sparse.Perm
+	for _, c := range []choice{{reorder.Original}, {reorder.RCM}, {reorder.AMD}, {reorder.ND}} {
+		b, perm, err := reorder.Apply(c.name, a, reorder.Options{Seed: 3})
+		if err != nil {
+			log.Fatal(err)
+		}
+		flops, err := cholesky.FlopCount(b)
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		f, err := cholesky.Factorize(b)
+		if err != nil {
+			log.Fatal(err)
+		}
+		el := time.Since(start)
+		fmt.Printf("%-10s %12d %10.2f %12d %12v\n",
+			c.name, f.NNZ(), float64(f.NNZ())/float64(b.NNZ()), flops, el.Round(time.Microsecond))
+		factors = append(factors, f)
+		perms = append(perms, perm)
+	}
+
+	// Solve with the AMD factor and verify against the original system.
+	rhs := make([]float64, n)
+	for i := range rhs {
+		rhs[i] = float64(i%13) - 6
+	}
+	amdFactor, amdPerm := factors[2], perms[2]
+	prhs := make([]float64, n)
+	for newI, oldI := range amdPerm {
+		prhs[newI] = rhs[oldI]
+	}
+	px, err := amdFactor.Solve(prhs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	x := make([]float64, n)
+	for newI, oldI := range amdPerm {
+		x[oldI] = px[newI]
+	}
+	ax := make([]float64, n)
+	spmv.Serial(a, x, ax)
+	worst := 0.0
+	for i := range ax {
+		if d := math.Abs(ax[i] - rhs[i]); d > worst {
+			worst = d
+		}
+	}
+	fmt.Printf("\nAMD-ordered direct solve residual (inf-norm): %.2e\n", worst)
+	fmt.Println("AMD and ND should show the smallest factors and times (paper Figure 6);")
+	fmt.Println("the original scrambled order pays for its fill in both memory and flops.")
+}

@@ -1,0 +1,73 @@
+// fillreduce reproduces the paper's §4.6 use case in miniature: choosing
+// an ordering before sparse Cholesky factorisation. It compares the
+// fill-in of every symmetric ordering on a 3D finite-element matrix and
+// reports the elimination-tree height, which bounds the critical path of
+// a parallel factorisation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sparseorder/internal/cholesky"
+	"sparseorder/internal/gen"
+	"sparseorder/internal/reorder"
+)
+
+func main() {
+	log.SetFlags(0)
+	a := gen.Scramble(gen.Grid3D(24, 24, 24), 5)
+	fmt.Printf("Cholesky fill-in for a %d-vertex 3D FEM matrix (%d nnz), scrambled order\n", a.Rows, a.NNZ())
+	fmt.Printf("%-10s %14s %10s %12s\n", "order", "nnz(L)", "fill", "etree height")
+
+	for _, alg := range []reorder.Algorithm{
+		reorder.Original, reorder.RCM, reorder.AMD, reorder.ND, reorder.GP, reorder.HP,
+	} {
+		b, _, err := reorder.Apply(alg, a, reorder.Options{Seed: 11})
+		if err != nil {
+			log.Fatal(err)
+		}
+		l, err := cholesky.FactorNNZ(b)
+		if err != nil {
+			log.Fatal(err)
+		}
+		parent, err := cholesky.EliminationTree(b)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %14d %10.2f %12d\n", alg, l, float64(l)/float64(b.NNZ()), treeHeight(parent))
+	}
+	fmt.Println("\nAMD and ND should produce the least fill (paper Figure 6); ND's short,")
+	fmt.Println("bushy elimination tree is what makes it the ordering of choice for")
+	fmt.Println("parallel direct solvers.")
+}
+
+func treeHeight(parent []int32) int {
+	n := len(parent)
+	depth := make([]int32, n)
+	for i := range depth {
+		depth[i] = -1
+	}
+	var h int32
+	for i := 0; i < n; i++ {
+		// Walk to the first node with a known depth, then unwind.
+		var path []int32
+		j := int32(i)
+		for j != -1 && depth[j] < 0 {
+			path = append(path, j)
+			j = parent[j]
+		}
+		base := int32(0)
+		if j != -1 {
+			base = depth[j]
+		}
+		for k := len(path) - 1; k >= 0; k-- {
+			base++
+			depth[path[k]] = base
+			if base > h {
+				h = base
+			}
+		}
+	}
+	return int(h)
+}

@@ -1,0 +1,3 @@
+module sparseorder
+
+go 1.24

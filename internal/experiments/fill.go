@@ -1,0 +1,11 @@
+package experiments
+
+import (
+	"sparseorder/internal/cholesky"
+	"sparseorder/internal/sparse"
+)
+
+// fillOf wraps the Cholesky fill-ratio computation used by the study.
+func fillOf(a *sparse.CSR) (float64, error) {
+	return cholesky.FillRatio(a)
+}

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"sparseorder/internal/machine"
+	"sparseorder/internal/stats"
+)
+
+// The paper's artifact ships gnuplot scripts that rebuild Figures 2 and 3
+// from the data files; this file provides the same pipeline for the
+// reproduction: a whisker-plot data file plus a ready-to-run gnuplot
+// script.
+
+// WriteSpeedupDat writes the box statistics of the speedup distributions
+// in gnuplot "candlesticks" layout: one row per (machine, ordering) with
+// columns index, whisker-low, q1, median, q3, whisker-high, label.
+func WriteSpeedupDat(w io.Writer, s *StudyResult, k machine.Kernel) error {
+	idx := 0
+	if _, err := fmt.Fprintf(w, "# idx whisklo q1 median q3 whiskhi label\n"); err != nil {
+		return err
+	}
+	for _, mc := range s.Config.Machines {
+		for _, alg := range s.Config.Orderings {
+			box := stats.BoxStats(s.Speedups(mc.Name, k, alg))
+			if _, err := fmt.Fprintf(w, "%d %.4f %.4f %.4f %.4f %.4f %s/%s\n",
+				idx, box.WhiskerLo, box.Q1, box.Median, box.Q3, box.WhiskerHi,
+				sanitize(mc.Name), alg); err != nil {
+				return err
+			}
+			idx++
+		}
+		idx++ // gap between machines
+	}
+	return nil
+}
+
+// WriteSpeedupGnuplot writes a gnuplot script that renders the data file
+// produced by WriteSpeedupDat as the paper's Figure 2/3 style candlestick
+// plot.
+func WriteSpeedupGnuplot(w io.Writer, datFile, outFile, title string) error {
+	_, err := fmt.Fprintf(w, `set terminal pngcairo size 1400,500
+set output %q
+set title %q
+set ylabel "speedup over original ordering"
+set xtics rotate by -60 font ",7"
+set grid ytics
+set key off
+set boxwidth 0.6
+set yrange [0:*]
+plot 1 with lines lc rgb "gray" dt 2, \
+     %q using 1:3:2:6:5:xtic(7) with candlesticks whiskerbars lc rgb "#4477aa", \
+     '' using 1:4:4:4:4 with candlesticks lt -1 notitle
+`, outFile, title, datFile)
+	return err
+}

@@ -1,0 +1,270 @@
+// Package experiments orchestrates the full reproduction of the study:
+// it applies every reordering to every collection matrix, evaluates both
+// SpMV kernels on all eight machine models, computes the order-sensitive
+// features and Cholesky fill-in, and renders each of the paper's tables
+// and figures (Figures 1-6, Tables 3-5) as ASCII tables in the layout of
+// the paper's artifact.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"sparseorder/internal/gen"
+	"sparseorder/internal/machine"
+	"sparseorder/internal/metrics"
+	"sparseorder/internal/reorder"
+	"sparseorder/internal/sparse"
+)
+
+// Config controls a study run. Zero values take the documented defaults.
+type Config struct {
+	Scale    gen.Scale
+	Seed     int64
+	Machines []machine.Machine // default: machine.Table2
+	// Orderings evaluated in addition to Original. Default: the paper's six.
+	Orderings []reorder.Algorithm
+	// HostThreads is the goroutine count for wall-clock measurements
+	// (Table 5); default runtime.GOMAXPROCS(0).
+	HostThreads int
+	// Repeats is the number of timed host SpMV iterations; like the paper,
+	// the best run is reported. Default 10.
+	Repeats int
+	// Verbose emits per-matrix progress to Logf if set.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Machines == nil {
+		c.Machines = machine.Table2
+	}
+	if c.Orderings == nil {
+		c.Orderings = reorder.Algorithms
+	}
+	if c.HostThreads == 0 {
+		c.HostThreads = runtime.GOMAXPROCS(0)
+	}
+	if c.Repeats == 0 {
+		c.Repeats = 10
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Measurement is the per-(matrix, ordering, machine, kernel) record,
+// mirroring the seven per-ordering columns of the paper's artifact files.
+type Measurement struct {
+	MinNNZ    int
+	MaxNNZ    int
+	MeanNNZ   float64
+	Imbalance float64
+	Seconds   float64
+	Gflops    float64
+}
+
+// MatrixResult holds everything the study records about one matrix.
+type MatrixResult struct {
+	Name  string
+	Group string
+	Kind  string
+	Rows  int
+	NNZ   int
+	SPD   bool
+
+	// Perf[machine][kernel][ordering] for every evaluated ordering
+	// (including Original). GP uses the partition count matching each
+	// machine's cores, as in the paper.
+	Perf map[string]map[machine.Kernel]map[reorder.Algorithm]Measurement
+
+	// Features[ordering] with blocks = 128 (the HP partition count).
+	Features map[reorder.Algorithm]metrics.Features
+
+	// ReorderSeconds[ordering] is the wall-clock cost of computing the
+	// ordering on the host.
+	ReorderSeconds map[reorder.Algorithm]float64
+
+	// FillRatio[ordering] is nnz(L)/nnz(A); only set for SPD matrices and
+	// symmetric orderings.
+	FillRatio map[reorder.Algorithm]float64
+}
+
+// Speedup returns Gflops(alg)/Gflops(Original) for the given machine and
+// kernel, the quantity plotted throughout the paper.
+func (r *MatrixResult) Speedup(mach string, k machine.Kernel, alg reorder.Algorithm) float64 {
+	perf := r.Perf[mach][k]
+	base := perf[reorder.Original].Gflops
+	if base == 0 {
+		return 0
+	}
+	return perf[alg].Gflops / base
+}
+
+// StudyResult is the output of RunStudy.
+type StudyResult struct {
+	Config   Config
+	Matrices []*MatrixResult
+}
+
+// featureBlocks is the block count for the off-diagonal nonzero feature;
+// the paper uses the HP partition count (128).
+const featureBlocks = 128
+
+// EvaluateMatrix runs the full per-matrix pipeline: all orderings, all
+// machine models, both kernels, features and (for SPD inputs) fill-in.
+func EvaluateMatrix(m gen.Matrix, cfg Config) (*MatrixResult, error) {
+	cfg = cfg.withDefaults()
+	res := &MatrixResult{
+		Name:           m.Name,
+		Group:          m.Group,
+		Kind:           m.Kind,
+		Rows:           m.A.Rows,
+		NNZ:            m.A.NNZ(),
+		SPD:            m.SPD,
+		Perf:           map[string]map[machine.Kernel]map[reorder.Algorithm]Measurement{},
+		Features:       map[reorder.Algorithm]metrics.Features{},
+		ReorderSeconds: map[reorder.Algorithm]float64{},
+		FillRatio:      map[reorder.Algorithm]float64{},
+	}
+	for _, mc := range cfg.Machines {
+		res.Perf[mc.Name] = map[machine.Kernel]map[reorder.Algorithm]Measurement{
+			machine.Kernel1D: {},
+			machine.Kernel2D: {},
+		}
+	}
+
+	// Distinct GP part counts (one ordering per machine core count).
+	gpParts := map[int]sparse.Perm{}
+
+	evalOrdering := func(alg reorder.Algorithm, b *sparse.CSR, machines []machine.Machine) {
+		for _, mc := range machines {
+			for _, k := range []machine.Kernel{machine.Kernel1D, machine.Kernel2D} {
+				e := machine.EstimateSpMV(b, mc, k)
+				minN, maxN := e.ThreadNNZ[0], e.ThreadNNZ[0]
+				for _, n := range e.ThreadNNZ {
+					if n < minN {
+						minN = n
+					}
+					if n > maxN {
+						maxN = n
+					}
+				}
+				res.Perf[mc.Name][k][alg] = Measurement{
+					MinNNZ:    minN,
+					MaxNNZ:    maxN,
+					MeanNNZ:   float64(b.NNZ()) / float64(mc.Cores),
+					Imbalance: e.Imbalance,
+					Seconds:   e.Seconds,
+					Gflops:    e.Gflops,
+				}
+			}
+		}
+	}
+
+	// Original ordering first.
+	evalOrdering(reorder.Original, m.A, cfg.Machines)
+	res.Features[reorder.Original] = metrics.Compute(m.A, featureBlocks, featureBlocks)
+	if m.SPD {
+		if fr, err := fillOf(m.A); err == nil {
+			res.FillRatio[reorder.Original] = fr
+		}
+	}
+
+	for _, alg := range cfg.Orderings {
+		switch alg {
+		case reorder.GP:
+			// One GP ordering per distinct machine core count.
+			var total float64
+			for _, mc := range cfg.Machines {
+				p, ok := gpParts[mc.Cores]
+				if !ok {
+					start := time.Now()
+					var err error
+					p, err = reorder.Compute(reorder.GP, m.A, reorder.Options{Seed: cfg.Seed, Parts: mc.Cores})
+					if err != nil {
+						return nil, fmt.Errorf("%s on %s: %w", alg, m.Name, err)
+					}
+					total += time.Since(start).Seconds()
+					gpParts[mc.Cores] = p
+				}
+				b, err := sparse.PermuteSymmetric(m.A, p)
+				if err != nil {
+					return nil, err
+				}
+				evalOrdering(alg, b, []machine.Machine{mc})
+			}
+			res.ReorderSeconds[alg] = total
+			// Features and fill use the 128-part GP ordering (or the largest
+			// evaluated) to match the HP feature blocks.
+			p := gpParts[largestCores(cfg.Machines)]
+			b, err := sparse.PermuteSymmetric(m.A, p)
+			if err != nil {
+				return nil, err
+			}
+			res.Features[alg] = metrics.Compute(b, featureBlocks, featureBlocks)
+			if m.SPD {
+				if fr, err := fillOf(b); err == nil {
+					res.FillRatio[alg] = fr
+				}
+			}
+		default:
+			start := time.Now()
+			b, _, err := reorder.Apply(alg, m.A, reorder.Options{Seed: cfg.Seed})
+			if err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", alg, m.Name, err)
+			}
+			res.ReorderSeconds[alg] = time.Since(start).Seconds()
+			evalOrdering(alg, b, cfg.Machines)
+			res.Features[alg] = metrics.Compute(b, featureBlocks, featureBlocks)
+			if m.SPD && alg.Symmetric() {
+				if fr, err := fillOf(b); err == nil {
+					res.FillRatio[alg] = fr
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+func largestCores(ms []machine.Machine) int {
+	best := 0
+	for _, m := range ms {
+		if m.Cores > best {
+			best = m.Cores
+		}
+	}
+	return best
+}
+
+// RunStudy evaluates the whole synthetic collection. It sets the machine
+// model's cache scaling to match the collection scale (see
+// machine.CacheScaleFor) so the cache-pressure regime mirrors the paper's.
+func RunStudy(cfg Config) (*StudyResult, error) {
+	cfg = cfg.withDefaults()
+	machine.CacheScale = machine.CacheScaleFor(cfg.Scale.Factor())
+	coll := gen.Collection(cfg.Scale, cfg.Seed)
+	out := &StudyResult{Config: cfg}
+	for _, m := range coll {
+		cfg.Logf("evaluating %s (%d rows, %d nnz)", m.Name, m.A.Rows, m.A.NNZ())
+		r, err := EvaluateMatrix(m, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out.Matrices = append(out.Matrices, r)
+	}
+	return out, nil
+}
+
+// Speedups collects the speedup of alg over Original across all matrices
+// for one machine and kernel.
+func (s *StudyResult) Speedups(mach string, k machine.Kernel, alg reorder.Algorithm) []float64 {
+	var xs []float64
+	for _, r := range s.Matrices {
+		if v := r.Speedup(mach, k, alg); v > 0 {
+			xs = append(xs, v)
+		}
+	}
+	return xs
+}

@@ -1,0 +1,116 @@
+package machine
+
+import "sparseorder/internal/sparse"
+
+// CacheSim is a set-associative LRU cache simulator used to validate the
+// cost model's closed-form locality estimate (distinct lines + capacity
+// term) against an exact simulation of the x-vector access stream. It is
+// deliberately simple — one level, true LRU — because it only needs to
+// rank access streams, not reproduce a real hierarchy.
+type CacheSim struct {
+	sets     int
+	ways     int
+	lineSize int64
+	tags     []int64 // sets × ways, -1 = empty
+	age      []int64 // LRU timestamps aligned with tags
+	clock    int64
+
+	Hits   int64
+	Misses int64
+}
+
+// NewCacheSim builds a simulator with the given capacity in bytes,
+// associativity and line size. Capacity is rounded down to a whole number
+// of sets; a minimum of one set is kept.
+func NewCacheSim(capacityBytes int64, ways int, lineSize int64) *CacheSim {
+	if ways < 1 {
+		ways = 1
+	}
+	if lineSize < 8 {
+		lineSize = 8
+	}
+	sets := int(capacityBytes / (int64(ways) * lineSize))
+	if sets < 1 {
+		sets = 1
+	}
+	c := &CacheSim{
+		sets:     sets,
+		ways:     ways,
+		lineSize: lineSize,
+		tags:     make([]int64, sets*ways),
+		age:      make([]int64, sets*ways),
+	}
+	for i := range c.tags {
+		c.tags[i] = -1
+	}
+	return c
+}
+
+// Access touches the byte address and returns whether it hit.
+func (c *CacheSim) Access(addr int64) bool {
+	c.clock++
+	line := addr / c.lineSize
+	set := int(line % int64(c.sets))
+	base := set * c.ways
+	victim := base
+	oldest := c.age[base]
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if c.tags[i] == line {
+			c.age[i] = c.clock
+			c.Hits++
+			return true
+		}
+		if c.age[i] < oldest {
+			oldest = c.age[i]
+			victim = i
+		}
+	}
+	c.tags[victim] = line
+	c.age[victim] = c.clock
+	c.Misses++
+	return false
+}
+
+// Reset clears contents and counters.
+func (c *CacheSim) Reset() {
+	for i := range c.tags {
+		c.tags[i] = -1
+		c.age[i] = 0
+	}
+	c.clock = 0
+	c.Hits = 0
+	c.Misses = 0
+}
+
+// SimulateXMisses replays the x-vector accesses of one thread's nonzero
+// range [kLo, kHi) of matrix a through the cache and returns the miss
+// count. Each nonzero reads x[col], i.e. byte address 8·col.
+func SimulateXMisses(a *sparse.CSR, kLo, kHi int, cache *CacheSim) int64 {
+	cache.Reset()
+	for k := kLo; k < kHi; k++ {
+		cache.Access(int64(a.ColIdx[k]) * 8)
+	}
+	return cache.Misses
+}
+
+// ModelXBytes returns the cost model's closed-form estimate of x-traffic
+// cache lines for a thread's nonzero range against a cache of effLines
+// lines: distinct lines (cold) plus the capacity term. Exposed for the
+// validation tests that compare it with SimulateXMisses.
+func ModelXBytes(a *sparse.CSR, kLo, kHi int, effLines float64) float64 {
+	seen := map[int32]bool{}
+	for k := kLo; k < kHi; k++ {
+		seen[a.ColIdx[k]>>3] = true
+	}
+	distinct := float64(len(seen))
+	reuse := float64(kHi-kLo) - distinct
+	if reuse < 0 {
+		reuse = 0
+	}
+	capMissRate := 0.0
+	if distinct > effLines {
+		capMissRate = (distinct - effLines) / distinct
+	}
+	return distinct + reuse*capMissRate/8
+}

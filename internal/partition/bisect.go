@@ -1,0 +1,274 @@
+package partition
+
+import (
+	"math/rand"
+
+	"sparseorder/internal/graph"
+)
+
+// Bisect splits g into two sides, with side 0 receiving roughly frac of
+// the total vertex weight, using the full multilevel scheme. It returns
+// side[v] ∈ {0, 1} for every vertex.
+func Bisect(g *graph.Graph, frac float64, opts Options, rng *rand.Rand) []uint8 {
+	opts = opts.withDefaults()
+	if g.N == 0 {
+		return nil
+	}
+	levels := coarsen(g, opts, rng)
+	coarsest := g
+	if len(levels) > 0 {
+		coarsest = levels[len(levels)-1].coarse
+	}
+	side := initialBisection(coarsest, frac, opts, rng)
+	fmRefine(coarsest, side, frac, opts)
+	for i := len(levels) - 1; i >= 0; i-- {
+		lv := levels[i]
+		fineSide := make([]uint8, lv.fine.N)
+		for v := 0; v < lv.fine.N; v++ {
+			fineSide[v] = side[lv.cmap[v]]
+		}
+		side = fineSide
+		fmRefine(lv.fine, side, frac, opts)
+	}
+	return side
+}
+
+// initialBisection grows side 0 by repeated BFS region growing from random
+// seeds, keeping the attempt with the lowest cut among balanced attempts.
+func initialBisection(g *graph.Graph, frac float64, opts Options, rng *rand.Rand) []uint8 {
+	total := g.TotalVertexWeight()
+	target := int(frac * float64(total))
+	best := make([]uint8, g.N)
+	bestCut := -1
+	trial := make([]uint8, g.N)
+	for t := 0; t < opts.InitTrials; t++ {
+		for i := range trial {
+			trial[i] = 1
+		}
+		w := 0
+		start := rng.Intn(g.N)
+		if t == 0 {
+			start, _ = graph.PseudoPeripheral(g, start, nil)
+		}
+		queue := []int32{int32(start)}
+		visited := make([]bool, g.N)
+		visited[start] = true
+		for head := 0; head < len(queue) && w < target; head++ {
+			v := queue[head]
+			trial[v] = 0
+			w += g.VertexWeight(int(v))
+			for _, u := range g.Neighbors(int(v)) {
+				if !visited[u] {
+					visited[u] = true
+					queue = append(queue, u)
+				}
+			}
+		}
+		// Disconnected graphs: the BFS may exhaust the component before
+		// reaching the target weight; keep absorbing unvisited vertices.
+		for v := 0; v < g.N && w < target; v++ {
+			if trial[v] == 1 {
+				trial[v] = 0
+				w += g.VertexWeight(v)
+			}
+		}
+		cut := cutOf(g, trial)
+		if bestCut < 0 || cut < bestCut {
+			bestCut = cut
+			copy(best, trial)
+		}
+	}
+	return best
+}
+
+func cutOf(g *graph.Graph, side []uint8) int {
+	cut := 0
+	for u := 0; u < g.N; u++ {
+		for k := g.Ptr[u]; k < g.Ptr[u+1]; k++ {
+			if side[g.Adj[k]] != side[u] {
+				cut += g.EdgeWeight(k)
+			}
+		}
+	}
+	return cut / 2
+}
+
+// fmEntry is a heap element for Fiduccia-Mattheyses refinement; stale
+// entries (whose recorded gain no longer matches the current gain) are
+// discarded lazily on pop.
+type fmEntry struct {
+	v    int32
+	gain int
+}
+
+type fmHeap []fmEntry
+
+func (h fmHeap) Len() int           { return len(h) }
+func (h fmHeap) Less(i, j int) bool { return h[i].gain > h[j].gain }
+func (h fmHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+
+// fmRefine performs boundary Fiduccia-Mattheyses passes on the bisection:
+// each pass tentatively moves every vertex at most once in best-gain-first
+// order subject to the balance constraint, then rolls back to the best
+// prefix observed. Passes repeat until no pass improves the cut.
+func fmRefine(g *graph.Graph, side []uint8, frac float64, opts Options) {
+	total := g.TotalVertexWeight()
+	max0 := int(float64(total) * frac * (1 + opts.Imbalance))
+	max1 := int(float64(total) * (1 - frac) * (1 + opts.Imbalance))
+	if max0 <= 0 {
+		max0 = 1
+	}
+	if max1 <= 0 {
+		max1 = 1
+	}
+	w := [2]int{}
+	for v := 0; v < g.N; v++ {
+		w[side[v]] += g.VertexWeight(v)
+	}
+
+	gain := make([]int, g.N)
+	locked := make([]bool, g.N)
+	for pass := 0; pass < opts.RefinePasses; pass++ {
+		improved := fmPass(g, side, gain, locked, &w, max0, max1)
+		if !improved {
+			break
+		}
+	}
+}
+
+func fmPass(g *graph.Graph, side []uint8, gain []int, locked []bool, w *[2]int, max0, max1 int) bool {
+	// Gain of moving v to the other side: external - internal edge weight.
+	computeGain := func(v int) int {
+		ext, inn := 0, 0
+		for k := g.Ptr[v]; k < g.Ptr[v+1]; k++ {
+			if side[g.Adj[k]] != side[v] {
+				ext += g.EdgeWeight(k)
+			} else {
+				inn += g.EdgeWeight(k)
+			}
+		}
+		return ext - inn
+	}
+
+	h := &fmHeap{}
+	for v := 0; v < g.N; v++ {
+		locked[v] = false
+		gain[v] = computeGain(v)
+		// Only boundary (or positive-gain) vertices are worth queueing.
+		if gain[v] > 0 || isBoundary(g, side, v) {
+			*h = append(*h, fmEntry{int32(v), gain[v]})
+		}
+	}
+	heapInit(h)
+
+	type move struct {
+		v    int32
+		gain int
+	}
+	var moves []move
+	cumGain, bestGain, bestIdx := 0, 0, -1
+	maxW := [2]int{max0, max1}
+
+	for h.Len() > 0 {
+		e := heapPop(h)
+		v := int(e.v)
+		if locked[v] || e.gain != gain[v] {
+			continue // stale entry
+		}
+		to := 1 - side[v]
+		if w[to]+g.VertexWeight(v) > maxW[to] {
+			continue // move would violate balance
+		}
+		// Commit the tentative move.
+		locked[v] = true
+		w[side[v]] -= g.VertexWeight(v)
+		side[v] = to
+		w[to] += g.VertexWeight(v)
+		cumGain += e.gain
+		moves = append(moves, move{int32(v), e.gain})
+		if cumGain > bestGain {
+			bestGain = cumGain
+			bestIdx = len(moves) - 1
+		}
+		for k := g.Ptr[v]; k < g.Ptr[v+1]; k++ {
+			u := g.Adj[k]
+			if locked[u] {
+				continue
+			}
+			gain[u] = computeGain(int(u))
+			heapPush(h, fmEntry{u, gain[u]})
+		}
+	}
+
+	// Roll back moves past the best prefix.
+	for i := len(moves) - 1; i > bestIdx; i-- {
+		v := moves[i].v
+		w[side[v]] -= g.VertexWeight(int(v))
+		side[v] = 1 - side[v]
+		w[side[v]] += g.VertexWeight(int(v))
+	}
+	return bestGain > 0
+}
+
+func isBoundary(g *graph.Graph, side []uint8, v int) bool {
+	for k := g.Ptr[v]; k < g.Ptr[v+1]; k++ {
+		if side[g.Adj[k]] != side[v] {
+			return true
+		}
+	}
+	return false
+}
+
+// Minimal container/heap re-implementation specialised to fmHeap to avoid
+// interface boxing in the hot path.
+func heapInit(h *fmHeap) {
+	n := h.Len()
+	for i := n/2 - 1; i >= 0; i-- {
+		heapDown(h, i, n)
+	}
+}
+
+func heapPush(h *fmHeap, e fmEntry) {
+	*h = append(*h, e)
+	heapUp(h, h.Len()-1)
+}
+
+func heapPop(h *fmHeap) fmEntry {
+	n := h.Len() - 1
+	h.Swap(0, n)
+	heapDown(h, 0, n)
+	old := *h
+	e := old[n]
+	*h = old[:n]
+	return e
+}
+
+func heapUp(h *fmHeap, j int) {
+	for {
+		i := (j - 1) / 2
+		if i == j || !h.Less(j, i) {
+			break
+		}
+		h.Swap(i, j)
+		j = i
+	}
+}
+
+func heapDown(h *fmHeap, i0, n int) {
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && h.Less(j2, j1) {
+			j = j2
+		}
+		if !h.Less(j, i) {
+			break
+		}
+		h.Swap(i, j)
+		i = j
+	}
+}

@@ -1,0 +1,161 @@
+package partition
+
+import (
+	"math/rand"
+
+	"sparseorder/internal/graph"
+)
+
+// level holds one rung of the multilevel hierarchy: the coarse graph and
+// the mapping from each fine vertex to its coarse vertex.
+type level struct {
+	fine   *graph.Graph
+	coarse *graph.Graph
+	cmap   []int32
+}
+
+// heavyEdgeMatch computes a matching that prefers heavy edges: vertices are
+// visited in random order and matched to the unmatched neighbour connected
+// by the heaviest edge. Returns match[v] = partner (or v itself when
+// unmatched) and the number of coarse vertices.
+func heavyEdgeMatch(g *graph.Graph, rng *rand.Rand) ([]int32, int) {
+	return matchVertices(g, rng, HeavyEdgeMatching)
+}
+
+// randomMatch pairs each vertex with an arbitrary unmatched neighbour —
+// the ablation baseline for heavy-edge matching.
+func randomMatch(g *graph.Graph, rng *rand.Rand) ([]int32, int) {
+	return matchVertices(g, rng, RandomMatching)
+}
+
+func matchVertices(g *graph.Graph, rng *rand.Rand, strategy MatchingStrategy) ([]int32, int) {
+	match := make([]int32, g.N)
+	for i := range match {
+		match[i] = -1
+	}
+	order := rng.Perm(g.N)
+	nCoarse := 0
+	for _, u := range order {
+		if match[u] >= 0 {
+			continue
+		}
+		best := int32(-1)
+		bestW := -1
+		for k := g.Ptr[u]; k < g.Ptr[u+1]; k++ {
+			v := g.Adj[k]
+			if match[v] >= 0 {
+				continue
+			}
+			if strategy == RandomMatching {
+				best = v
+				break
+			}
+			if w := g.EdgeWeight(k); w > bestW {
+				bestW = w
+				best = v
+			}
+		}
+		if best >= 0 {
+			match[u] = best
+			match[best] = int32(u)
+		} else {
+			match[u] = int32(u)
+		}
+		nCoarse++
+	}
+	return match, nCoarse
+}
+
+// contract builds the coarse graph defined by the matching. Matched pairs
+// merge into one coarse vertex whose weight is the sum of the fine weights;
+// parallel coarse edges are combined by summing their weights.
+func contract(g *graph.Graph, match []int32, nCoarse int) (*graph.Graph, []int32) {
+	cmap := make([]int32, g.N)
+	for i := range cmap {
+		cmap[i] = -1
+	}
+	next := int32(0)
+	for v := 0; v < g.N; v++ {
+		if cmap[v] >= 0 {
+			continue
+		}
+		cmap[v] = next
+		if m := match[v]; int(m) != v {
+			cmap[m] = next
+		}
+		next++
+	}
+
+	coarse := &graph.Graph{N: nCoarse, Ptr: make([]int, nCoarse+1)}
+	coarse.VWgt = make([]int32, nCoarse)
+	for v := 0; v < g.N; v++ {
+		coarse.VWgt[cmap[v]] += int32(g.VertexWeight(v))
+	}
+
+	// Accumulate coarse adjacency with a dense scatter array reused across
+	// coarse vertices.
+	where := make([]int32, nCoarse) // where[c] = index+1 into current row
+	var adj []int32
+	var ewgt []int32
+	// Group fine vertices by coarse vertex.
+	members := make([][2]int32, nCoarse)
+	for i := range members {
+		members[i] = [2]int32{-1, -1}
+	}
+	for v := 0; v < g.N; v++ {
+		c := cmap[v]
+		if members[c][0] < 0 {
+			members[c][0] = int32(v)
+		} else {
+			members[c][1] = int32(v)
+		}
+	}
+	for c := 0; c < nCoarse; c++ {
+		rowStart := len(adj)
+		for _, vv := range members[c] {
+			if vv < 0 {
+				continue
+			}
+			v := int(vv)
+			for k := g.Ptr[v]; k < g.Ptr[v+1]; k++ {
+				cu := cmap[g.Adj[k]]
+				if cu == int32(c) {
+					continue // interior edge collapses
+				}
+				w := int32(g.EdgeWeight(k))
+				if idx := where[cu]; idx > 0 && int(idx-1) >= rowStart {
+					ewgt[idx-1] += w
+				} else {
+					adj = append(adj, cu)
+					ewgt = append(ewgt, w)
+					where[cu] = int32(len(adj))
+				}
+			}
+		}
+		coarse.Ptr[c+1] = len(adj)
+		// Reset scatter marks for the next row.
+		for k := rowStart; k < len(adj); k++ {
+			where[adj[k]] = 0
+		}
+	}
+	coarse.Adj = adj
+	coarse.EWgt = ewgt
+	return coarse, cmap
+}
+
+// coarsen builds the multilevel hierarchy until the graph has at most
+// opts.CoarsenTo vertices or matching stops making progress.
+func coarsen(g *graph.Graph, opts Options, rng *rand.Rand) []level {
+	var levels []level
+	cur := g
+	for cur.N > opts.CoarsenTo {
+		match, nCoarse := matchVertices(cur, rng, opts.Matching)
+		if float64(nCoarse) > 0.95*float64(cur.N) {
+			break // matching stagnated (e.g. star graphs)
+		}
+		coarse, cmap := contract(cur, match, nCoarse)
+		levels = append(levels, level{fine: cur, coarse: coarse, cmap: cmap})
+		cur = coarse
+	}
+	return levels
+}

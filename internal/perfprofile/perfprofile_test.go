@@ -1,0 +1,108 @@
+package perfprofile
+
+import (
+	"math"
+	"testing"
+)
+
+func TestComputeKnown(t *testing.T) {
+	methods := []string{"A", "B"}
+	costs := [][]float64{
+		{1, 2}, // A best, B at ratio 2
+		{3, 1}, // B best, A at ratio 3
+		{2, 2}, // tie: both ratio 1
+	}
+	profiles, err := Compute(methods, costs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := profiles[0], profiles[1]
+	if v := a.Value(1.0); math.Abs(v-2.0/3) > 1e-12 {
+		t.Errorf("A at x=1: %v, want 2/3", v)
+	}
+	if v := b.Value(1.0); math.Abs(v-2.0/3) > 1e-12 {
+		t.Errorf("B at x=1: %v, want 2/3", v)
+	}
+	if v := a.Value(2.9); math.Abs(v-2.0/3) > 1e-12 {
+		t.Errorf("A at x=2.9: %v, want 2/3", v)
+	}
+	if v := a.Value(3.0); v != 1 {
+		t.Errorf("A at x=3: %v, want 1", v)
+	}
+	if v := b.Value(2.0); v != 1 {
+		t.Errorf("B at x=2: %v, want 1", v)
+	}
+}
+
+func TestComputeZeroCosts(t *testing.T) {
+	profiles, err := Compute([]string{"A", "B"}, [][]float64{{0, 0}, {0, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := profiles[0].Value(1); v != 1 {
+		t.Errorf("A always ties best: %v", v)
+	}
+	// B has one infinite ratio: never reaches 1 at finite x.
+	if v := profiles[1].Value(1e18); v != 0.5 {
+		t.Errorf("B at huge x: %v, want 0.5", v)
+	}
+}
+
+func TestComputeDimensionMismatch(t *testing.T) {
+	if _, err := Compute([]string{"A"}, [][]float64{{1, 2}}); err == nil {
+		t.Error("accepted mismatched cost row")
+	}
+}
+
+func TestValueEmpty(t *testing.T) {
+	p := Profile{Method: "X"}
+	if p.Value(10) != 0 {
+		t.Error("empty profile should be 0 everywhere")
+	}
+}
+
+func TestTableShape(t *testing.T) {
+	profiles, err := Compute([]string{"A", "B"}, [][]float64{{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := Table(profiles, []float64{1, 1.5, 2})
+	if len(rows) != 3 || len(rows[0]) != 2 {
+		t.Fatalf("table shape %dx%d", len(rows), len(rows[0]))
+	}
+	if rows[0][0] != 1 || rows[0][1] != 0 || rows[2][1] != 1 {
+		t.Errorf("table values %v", rows)
+	}
+}
+
+func TestAreaScoreOrdersMethods(t *testing.T) {
+	// A is always best; B always 2x worse; A's area must dominate.
+	profiles, err := Compute([]string{"A", "B"}, [][]float64{
+		{1, 2}, {1, 2}, {1, 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if AreaScore(&profiles[0], 3) <= AreaScore(&profiles[1], 3) {
+		t.Error("dominating method has smaller area")
+	}
+}
+
+func TestValueMonotone(t *testing.T) {
+	profiles, err := Compute([]string{"A", "B", "C"}, [][]float64{
+		{1, 2, 4}, {2, 1, 8}, {5, 5, 1}, {1, 3, 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range profiles {
+		prev := -1.0
+		for x := 1.0; x < 10; x += 0.25 {
+			v := p.Value(x)
+			if v < prev {
+				t.Fatalf("%s: profile not monotone at %v", p.Method, x)
+			}
+			prev = v
+		}
+	}
+}

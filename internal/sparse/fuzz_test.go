@@ -1,0 +1,41 @@
+package sparse
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadMatrixMarket checks that the Matrix Market parser never panics
+// and that everything it accepts is a structurally valid matrix that
+// survives a write/read round trip.
+func FuzzReadMatrixMarket(f *testing.F) {
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.5\n2 2 -3\n")
+	f.Add("%%MatrixMarket matrix coordinate pattern symmetric\n3 3 2\n2 1\n3 3\n")
+	f.Add("%%MatrixMarket matrix coordinate integer skew-symmetric\n3 3 1\n2 1 4\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n% comment\n\n1 1 1\n1 1 2.5e-3\n")
+	f.Add("garbage")
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 9999\n1 1 1\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n-1 2 1\n1 1 1\n")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		a, err := ReadMatrixMarket(strings.NewReader(input))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if verr := a.Validate(); verr != nil {
+			t.Fatalf("parser accepted an invalid matrix: %v", verr)
+		}
+		var buf bytes.Buffer
+		if werr := WriteMatrixMarket(&buf, a); werr != nil {
+			t.Fatalf("write failed on accepted matrix: %v", werr)
+		}
+		b, rerr := ReadMatrixMarket(&buf)
+		if rerr != nil {
+			t.Fatalf("round trip read failed: %v", rerr)
+		}
+		if !a.Equal(b) {
+			t.Fatal("round trip changed the matrix")
+		}
+	})
+}

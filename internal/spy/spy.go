@@ -1,0 +1,142 @@
+// Package spy renders sparsity patterns, reproducing the visual dimension
+// of the paper's Figure 1: density maps of a matrix before and after
+// reordering, as ASCII art for terminals and as binary PGM images for
+// files.
+package spy
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"sparseorder/internal/sparse"
+)
+
+// Density bins the nonzeros of a into a rows×cols grid of cells and
+// returns the per-cell counts (row-major).
+func Density(a *sparse.CSR, rows, cols int) [][]int {
+	grid := make([][]int, rows)
+	for i := range grid {
+		grid[i] = make([]int, cols)
+	}
+	if a.Rows == 0 || a.Cols == 0 {
+		return grid
+	}
+	for i := 0; i < a.Rows; i++ {
+		gi := i * rows / a.Rows
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			gj := int(a.ColIdx[k]) * cols / a.Cols
+			grid[gi][gj]++
+		}
+	}
+	return grid
+}
+
+// asciiRamp orders glyphs from empty to dense.
+const asciiRamp = " .:-=+*#%@"
+
+// ASCII renders the sparsity pattern as size×size characters (plus a
+// border), darker glyphs meaning denser cells.
+func ASCII(a *sparse.CSR, size int) string {
+	grid := Density(a, size, size)
+	maxCount := 0
+	for _, row := range grid {
+		for _, c := range row {
+			if c > maxCount {
+				maxCount = c
+			}
+		}
+	}
+	var b strings.Builder
+	b.WriteString("+" + strings.Repeat("-", size) + "+\n")
+	for _, row := range grid {
+		b.WriteByte('|')
+		for _, c := range row {
+			b.WriteByte(glyph(c, maxCount))
+		}
+		b.WriteString("|\n")
+	}
+	b.WriteString("+" + strings.Repeat("-", size) + "+\n")
+	return b.String()
+}
+
+func glyph(count, maxCount int) byte {
+	if count == 0 || maxCount == 0 {
+		return asciiRamp[0]
+	}
+	idx := 1 + (len(asciiRamp)-2)*count/maxCount
+	if idx >= len(asciiRamp) {
+		idx = len(asciiRamp) - 1
+	}
+	return asciiRamp[idx]
+}
+
+// WritePGM writes the pattern as a binary PGM (P5) grayscale image of
+// size×size pixels; empty cells are white, the densest cell black.
+func WritePGM(w io.Writer, a *sparse.CSR, size int) error {
+	grid := Density(a, size, size)
+	maxCount := 0
+	for _, row := range grid {
+		for _, c := range row {
+			if c > maxCount {
+				maxCount = c
+			}
+		}
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "P5\n%d %d\n255\n", size, size); err != nil {
+		return err
+	}
+	for _, row := range grid {
+		for _, c := range row {
+			pixel := byte(255)
+			if maxCount > 0 && c > 0 {
+				// Log-ish shading: any nonzero is clearly visible.
+				v := 200 - 200*c/maxCount
+				pixel = byte(v)
+			}
+			if err := bw.WriteByte(pixel); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// SideBySide renders several labelled patterns next to each other — the
+// layout of the paper's Figure 1 (original vs RCM vs ND vs GP).
+func SideBySide(labels []string, ms []*sparse.CSR, size int) string {
+	blocks := make([][]string, len(ms))
+	for i, m := range ms {
+		blocks[i] = strings.Split(strings.TrimRight(ASCII(m, size), "\n"), "\n")
+	}
+	var b strings.Builder
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%-*s", size+2, truncate(l, size+2))
+	}
+	b.WriteByte('\n')
+	if len(blocks) == 0 {
+		return b.String()
+	}
+	for line := 0; line < len(blocks[0]); line++ {
+		for i := range blocks {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(blocks[i][line])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n]
+}

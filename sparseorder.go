@@ -1,0 +1,245 @@
+package sparseorder
+
+import (
+	"io"
+
+	"sparseorder/internal/cholesky"
+	"sparseorder/internal/gen"
+	"sparseorder/internal/graph"
+	"sparseorder/internal/machine"
+	"sparseorder/internal/metrics"
+	"sparseorder/internal/reorder"
+	"sparseorder/internal/solver"
+	"sparseorder/internal/sparse"
+	"sparseorder/internal/spmv"
+)
+
+// graphOf builds the symmetrized adjacency graph used by the graph-based
+// orderings.
+func graphOf(a *Matrix) (*graph.Graph, error) { return graph.FromMatrixSymmetrized(a) }
+
+// Core sparse-matrix types.
+type (
+	// Matrix is a sparse matrix in compressed sparse row format with
+	// 32-bit column indices and float64 values, the storage the study
+	// benchmarks.
+	Matrix = sparse.CSR
+	// COO is a coordinate-format builder that converts to Matrix.
+	COO = sparse.COO
+	// Perm is a new-to-old permutation: row i of the reordered matrix is
+	// row Perm[i] of the original.
+	Perm = sparse.Perm
+)
+
+// NewCOO returns an empty coordinate-format matrix builder.
+func NewCOO(rows, cols, nnz int) *COO { return sparse.NewCOO(rows, cols, nnz) }
+
+// ReadMatrixMarket parses a Matrix Market stream (coordinate
+// real/integer/pattern, general/symmetric/skew-symmetric) into CSR form.
+func ReadMatrixMarket(r io.Reader) (*Matrix, error) { return sparse.ReadMatrixMarket(r) }
+
+// WriteMatrixMarket writes m in coordinate real general format.
+func WriteMatrixMarket(w io.Writer, m *Matrix) error { return sparse.WriteMatrixMarket(w, m) }
+
+// Symmetrize returns A + Aᵀ, the symmetric pattern the graph-based
+// orderings operate on when the input is unsymmetric.
+func Symmetrize(a *Matrix) (*Matrix, error) { return sparse.Symmetrize(a) }
+
+// PermuteSymmetric returns P·A·Pᵀ.
+func PermuteSymmetric(a *Matrix, p Perm) (*Matrix, error) { return sparse.PermuteSymmetric(a, p) }
+
+// PermuteRows returns P·A (rows only, as the Gray ordering is applied).
+func PermuteRows(a *Matrix, p Perm) (*Matrix, error) { return sparse.PermuteRows(a, p) }
+
+// Ordering names one of the study's reordering algorithms.
+type Ordering = reorder.Algorithm
+
+// The orderings of the study (paper Table 1) plus the Original baseline.
+const (
+	Original = reorder.Original
+	RCM      = reorder.RCM // Reverse Cuthill-McKee (bandwidth reduction)
+	AMD      = reorder.AMD // approximate minimum degree (fill reduction)
+	ND       = reorder.ND  // nested dissection (fill reduction)
+	GP       = reorder.GP  // graph partitioning, edge-cut objective
+	HP       = reorder.HP  // column-net hypergraph partitioning, cut-net
+	Gray     = reorder.Gray
+)
+
+// Orderings lists the six algorithms in the paper's order.
+var Orderings = reorder.Algorithms
+
+// OrderingOptions configure the reordering algorithms; the zero value
+// matches the paper's configuration.
+type OrderingOptions = reorder.Options
+
+// ComputeOrdering returns the permutation of the given algorithm without
+// applying it.
+func ComputeOrdering(alg Ordering, a *Matrix, opts OrderingOptions) (Perm, error) {
+	return reorder.Compute(alg, a, opts)
+}
+
+// Reorder computes and applies an ordering, returning the reordered matrix
+// and the permutation. Symmetric algorithms permute rows and columns
+// simultaneously; Gray permutes rows only.
+func Reorder(alg Ordering, a *Matrix, opts OrderingOptions) (*Matrix, Perm, error) {
+	return reorder.Apply(alg, a, opts)
+}
+
+// SpMV computes y = A·x serially (the reference kernel).
+func SpMV(a *Matrix, x, y []float64) { spmv.Serial(a, x, y) }
+
+// SpMV1D computes y = A·x with the study's 1D kernel: rows are split into
+// equal contiguous blocks, one per thread.
+func SpMV1D(a *Matrix, x, y []float64, threads int) { spmv.Mul1D(a, x, y, threads) }
+
+// Plan2D is the reusable preprocessing of the 2D (nonzero-balanced)
+// kernel.
+type Plan2D = spmv.Plan2D
+
+// NewPlan2D builds the 2D kernel's nonzero split for a fixed matrix and
+// thread count; the cost is amortised over many SpMV iterations.
+func NewPlan2D(a *Matrix, threads int) (*Plan2D, error) { return spmv.NewPlan2D(a, threads) }
+
+// SpMV2D computes y = A·x with the study's 2D kernel using a prebuilt
+// plan.
+func SpMV2D(a *Matrix, x, y []float64, p *Plan2D) { spmv.Mul2D(a, x, y, p) }
+
+// PlanMerge is the reusable preprocessing of the merge-based kernel of
+// Merrill and Garland, of which the study's 2D kernel is a simplified
+// version.
+type PlanMerge = spmv.PlanMerge
+
+// NewPlanMerge builds the merge-path split for a fixed matrix and thread
+// count.
+func NewPlanMerge(a *Matrix, threads int) (*PlanMerge, error) { return spmv.NewPlanMerge(a, threads) }
+
+// SpMVMerge computes y = A·x with the merge-based kernel, which balances
+// rows and nonzeros simultaneously (robust even to millions of empty rows).
+func SpMVMerge(a *Matrix, x, y []float64, p *PlanMerge) { spmv.MulMerge(a, x, y, p) }
+
+// SpMVTranspose computes y = Aᵀ·x in parallel using thread-private
+// accumulators.
+func SpMVTranspose(a *Matrix, x, y []float64, threads int) { spmv.MulT(a, x, y, threads) }
+
+// SolveOptions configure the conjugate-gradient solver.
+type SolveOptions = solver.Options
+
+// SolveResult reports a solve's outcome.
+type SolveResult = solver.Result
+
+// SolveCG solves A·x = b for SPD A with (optionally Jacobi-preconditioned)
+// conjugate gradients built on the parallel SpMV kernels — the iterative
+// workload over which the paper's §4.7 amortises reordering costs.
+func SolveCG(a *Matrix, b []float64, opts SolveOptions) (*SolveResult, error) {
+	return solver.CG(a, b, opts)
+}
+
+// Features bundles the study's order-sensitive matrix features.
+type Features = metrics.Features
+
+// ComputeFeatures evaluates bandwidth, profile, off-diagonal nonzero count
+// (over a blocks×blocks grid) and the 1D load-imbalance factor.
+func ComputeFeatures(a *Matrix, blocks, threads int) Features {
+	return metrics.Compute(a, blocks, threads)
+}
+
+// FillRatio returns nnz(L)/nnz(A) for the Cholesky factor of the
+// pattern-symmetric matrix a (paper §4.6), computed with the
+// Gilbert-Ng-Peyton counting algorithm — no numeric factorisation.
+func FillRatio(a *Matrix) (float64, error) { return cholesky.FillRatio(a) }
+
+// CholeskyColCounts returns the per-column nonzero counts of the Cholesky
+// factor L, diagonal included.
+func CholeskyColCounts(a *Matrix) ([]int64, error) { return cholesky.ColCounts(a) }
+
+// EliminationTree returns the parent array of the elimination tree.
+func EliminationTree(a *Matrix) ([]int32, error) { return cholesky.EliminationTree(a) }
+
+// CholeskyFactor is a numeric sparse Cholesky factor L with A = L·Lᵀ.
+type CholeskyFactor = cholesky.Factor
+
+// CholeskyFactorize numerically factorises the SPD matrix a with the
+// up-looking simplicial algorithm; its structure is sized exactly by the
+// Gilbert-Ng-Peyton counts, so it doubles as an executable validation of
+// the fill analysis.
+func CholeskyFactorize(a *Matrix) (*CholeskyFactor, error) { return cholesky.Factorize(a) }
+
+// CholeskyFlops returns the factorisation flop count Σ c_j² implied by the
+// column counts — the cost fill-reducing orderings minimise.
+func CholeskyFlops(a *Matrix) (int64, error) { return cholesky.FlopCount(a) }
+
+// GPSOrdering computes the Gibbs-Poole-Stockmeyer bandwidth-reducing
+// ordering of the symmetrized matrix — an extension beyond the study's six
+// evaluated algorithms (its §2.1.1 describes the method).
+func GPSOrdering(a *Matrix) (Perm, error) {
+	g, err := graphOf(a)
+	if err != nil {
+		return nil, err
+	}
+	return reorder.GibbsPooleStockmeyer(g), nil
+}
+
+// SloanOrdering computes Sloan's profile-reducing ordering of the
+// symmetrized matrix with the given weights (non-positive weights take
+// Sloan's recommended 1 and 2) — an extension targeting the profile
+// feature of the study's Figure 5.
+func SloanOrdering(a *Matrix, w1, w2 int) (Perm, error) {
+	g, err := graphOf(a)
+	if err != nil {
+		return nil, err
+	}
+	return reorder.Sloan(g, w1, w2), nil
+}
+
+// SBDOrdering computes the separated-block-diagonal row/column ordering of
+// Yzelman and Bisseling via recursive hypergraph bisection — the other
+// hypergraph-based reordering family the paper cites (§2.1.3).
+func SBDOrdering(a *Matrix, opts OrderingOptions) (rowPerm, colPerm Perm) {
+	res := reorder.SeparatedBlockDiagonal(a, opts)
+	return res.RowPerm, res.ColPerm
+}
+
+// MachineModel describes one of the eight CPUs of the study's Table 2.
+type MachineModel = machine.Machine
+
+// Kernel selects the 1D or 2D SpMV algorithm.
+type Kernel = machine.Kernel
+
+// The two SpMV kernels of the study.
+const (
+	Kernel1D = machine.Kernel1D
+	Kernel2D = machine.Kernel2D
+)
+
+// Machines returns the models of the study's eight CPUs.
+func Machines() []MachineModel { return machine.Table2 }
+
+// MachineByName returns one machine model ("Skylake", "Ice Lake",
+// "Naples", "Rome", "Milan A", "Milan B", "TX2", "Hi1620").
+func MachineByName(name string) (MachineModel, bool) { return machine.ByName(name) }
+
+// PredictSpMV estimates SpMV performance of a on the given machine model.
+type Prediction = machine.Estimate
+
+// PredictSpMV runs the locality- and balance-aware cost model used to
+// reproduce the study's cross-architecture experiments.
+func PredictSpMV(a *Matrix, m MachineModel, k Kernel) Prediction {
+	return machine.EstimateSpMV(a, m, k)
+}
+
+// CollectionMatrix is one named matrix of the synthetic collection that
+// stands in for the SuiteSparse corpus.
+type CollectionMatrix = gen.Matrix
+
+// Scale selects the size of the synthetic collection.
+type Scale = gen.Scale
+
+// Collection scales.
+const (
+	ScaleTest  = gen.ScaleTest
+	ScaleStudy = gen.ScaleStudy
+	ScaleLarge = gen.ScaleLarge
+)
+
+// Collection generates the deterministic synthetic matrix collection.
+func Collection(scale Scale, seed int64) []CollectionMatrix { return gen.Collection(scale, seed) }
