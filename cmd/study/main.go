@@ -5,6 +5,12 @@
 //
 //	study [-exp all|fig1|fig2|fig3|fig4|fig5|fig6|table3|table4|table5|densecsr|artifact]
 //	      [-scale test|study|large] [-seed N] [-out DIR] [-v]
+//	      [-workers N] [-timeout D]
+//
+// Matrices are evaluated concurrently by -workers workers (default
+// GOMAXPROCS); output is identical for any worker count. A matrix whose
+// evaluation fails or exceeds -timeout is reported as a warning and
+// skipped instead of aborting the study.
 //
 // Results are printed to stdout; with -out, artifact-format data files
 // (one per machine and kernel, as in the paper's Zenodo artifact) are also
@@ -12,12 +18,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"sparseorder/internal/experiments"
 	"sparseorder/internal/gen"
@@ -33,6 +42,8 @@ func main() {
 	out := flag.String("out", "", "directory for artifact-format data files")
 	verbose := flag.Bool("v", false, "log per-matrix progress to stderr")
 	repeats := flag.Int("repeats", 10, "host SpMV timing repetitions (best run is kept)")
+	workers := flag.Int("workers", 0, "concurrent matrix evaluations (0 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 0, "per-matrix evaluation timeout, e.g. 90s (0 = none)")
 	flag.Parse()
 
 	var scale gen.Scale
@@ -46,10 +57,20 @@ func main() {
 	default:
 		log.Fatalf("unknown scale %q", *scaleName)
 	}
-	cfg := experiments.Config{Scale: scale, Seed: *seed, Repeats: *repeats}
+	cfg := experiments.Config{
+		Scale:   scale,
+		Seed:    *seed,
+		Repeats: *repeats,
+		Workers: *workers,
+		Timeout: *timeout,
+	}
 	if *verbose {
 		cfg.Logf = func(format string, args ...any) { log.Printf(format, args...) }
 	}
+
+	// Ctrl-C cancels the study; workers stop at their next checkpoint.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	want := func(name string) bool { return *exp == "all" || *exp == name }
 
@@ -62,10 +83,21 @@ func main() {
 	}
 	var s *experiments.StudyResult
 	if needStudy {
+		start := time.Now()
 		var err error
-		s, err = experiments.RunStudy(cfg)
+		s, err = experiments.RunStudyContext(ctx, cfg)
 		if err != nil {
 			log.Fatal(err)
+		}
+		for i := range s.Failures {
+			log.Printf("warning: matrix failed: %v", &s.Failures[i])
+		}
+		if len(s.Matrices) == 0 {
+			log.Fatalf("no matrix evaluated successfully (%d failures)", len(s.Failures))
+		}
+		if *verbose {
+			log.Printf("study: %d matrices, %d failures in %v",
+				len(s.Matrices), len(s.Failures), time.Since(start).Round(time.Millisecond))
 		}
 	}
 

@@ -1,0 +1,11 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether this test binary was built with -race.
+// Host wall-clock timing tests (Table 5) skip themselves under the race
+// detector: the ~8× instrumentation slowdown makes their timings
+// meaningless and pushes the package past the default test timeout. The
+// concurrency-sensitive paths stay covered — the shared testStudy run
+// and the runner tests drive the worker pool under race.
+const raceEnabled = true

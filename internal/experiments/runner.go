@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+
+	"sparseorder/internal/gen"
+	"sparseorder/internal/machine"
+	"sparseorder/internal/reorder"
+)
+
+// MatrixError records the failure of one matrix's evaluation. Ordering is
+// the algorithm whose computation or application failed when the failure
+// is ordering-specific; for whole-matrix failures (panic, timeout,
+// cancellation) it is empty.
+type MatrixError struct {
+	Name     string
+	Ordering reorder.Algorithm
+	Err      error
+}
+
+// Error formats the failure as "name: ordering: cause".
+func (e *MatrixError) Error() string {
+	if e.Ordering != "" {
+		return fmt.Sprintf("%s: %s: %v", e.Name, e.Ordering, e.Err)
+	}
+	return fmt.Sprintf("%s: %v", e.Name, e.Err)
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *MatrixError) Unwrap() error { return e.Err }
+
+// evalFunc is the per-matrix evaluation the runner drives; tests inject
+// failing and panicking variants to exercise the isolation guarantees.
+type evalFunc func(context.Context, gen.Matrix, Config) (*MatrixResult, error)
+
+// RunStudy evaluates the whole synthetic collection. It sets the machine
+// model's cache scaling to match the collection scale (see
+// machine.CacheScaleFor) so the cache-pressure regime mirrors the paper's.
+func RunStudy(cfg Config) (*StudyResult, error) {
+	return RunStudyContext(context.Background(), cfg)
+}
+
+// RunStudyContext is RunStudy with cancellation: cancelling the context
+// stops the study and returns the context's error. Matrices are evaluated
+// concurrently by cfg.Workers workers; each matrix that fails — by error,
+// by panic, or by exceeding cfg.Timeout — is recorded in
+// StudyResult.Failures without affecting any other matrix, so one
+// pathological matrix can never abort the run.
+func RunStudyContext(ctx context.Context, cfg Config) (*StudyResult, error) {
+	return runStudy(ctx, cfg, gen.Collection(cfg.Scale, cfg.Seed), EvaluateMatrixContext)
+}
+
+// RunStudyMatrices evaluates an explicit matrix list instead of the
+// generated collection — the entry point for user-supplied (e.g. Matrix
+// Market) corpora. It applies the same cache scaling, concurrency and
+// failure isolation as RunStudyContext; results preserve input order.
+func RunStudyMatrices(ctx context.Context, cfg Config, matrices []gen.Matrix) (*StudyResult, error) {
+	return runStudy(ctx, cfg, matrices, EvaluateMatrixContext)
+}
+
+// runStudy is the shared bounded worker pool. Determinism: each matrix's
+// result is stored at its collection index as it completes, and the final
+// Matrices/Failures slices are assembled in index order after all workers
+// drain, so the output is identical for any worker count (the per-matrix
+// evaluation itself does not depend on the other matrices).
+func runStudy(ctx context.Context, cfg Config, coll []gen.Matrix, eval evalFunc) (*StudyResult, error) {
+	cfg = cfg.withDefaults()
+	machine.CacheScale = machine.CacheScaleFor(cfg.Scale.Factor())
+
+	results := make([]*MatrixResult, len(coll))
+	failures := make([]*MatrixError, len(coll))
+
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(coll) {
+		workers = len(coll)
+	}
+
+	var (
+		mu        sync.Mutex // guards the progress counters and serialises Logf
+		completed int
+		failed    int
+	)
+	logf := func(format string, args ...any) {
+		mu.Lock()
+		cfg.Logf(format, args...)
+		mu.Unlock()
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				m := coll[idx]
+				r, err := evaluateIsolated(ctx, m, cfg, eval, logf)
+
+				mu.Lock()
+				completed++
+				if err != nil {
+					failures[idx] = asMatrixError(m.Name, err)
+					failed++
+					cfg.Logf("[%d/%d] %s FAILED (%d failed so far): %v",
+						completed, len(coll), m.Name, failed, err)
+				} else {
+					results[idx] = r
+					cfg.Logf("[%d/%d] %s done (%d failed so far)",
+						completed, len(coll), m.Name, failed)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+
+feed:
+	for i := range coll {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	out := &StudyResult{Config: cfg}
+	for i := range coll {
+		switch {
+		case results[i] != nil:
+			out.Matrices = append(out.Matrices, results[i])
+		case failures[i] != nil:
+			out.Failures = append(out.Failures, *failures[i])
+		}
+	}
+	return out, nil
+}
+
+// evaluateIsolated runs one matrix's evaluation with the per-matrix
+// timeout applied and any panic converted into an error, so a
+// pathological matrix cannot kill its worker (a panic escaping a
+// goroutine would terminate the whole process). The start-of-matrix log
+// runs inside the recovery scope too: it touches the matrix (a nil or
+// corrupt CSR panics right there) and must be isolated the same way.
+func evaluateIsolated(ctx context.Context, m gen.Matrix, cfg Config, eval evalFunc, logf func(string, ...any)) (res *MatrixResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = nil
+			err = fmt.Errorf("panic: %v\n%s", r, debug.Stack())
+		}
+	}()
+	logf("evaluating %s (%d rows, %d nnz)", m.Name, m.A.Rows, m.A.NNZ())
+	if cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.Timeout)
+		defer cancel()
+	}
+	return eval(ctx, m, cfg)
+}
+
+// asMatrixError normalises any evaluation error to a MatrixError record.
+func asMatrixError(name string, err error) *MatrixError {
+	var me *MatrixError
+	if errors.As(err, &me) {
+		return me
+	}
+	return &MatrixError{Name: name, Err: err}
+}

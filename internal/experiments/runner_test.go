@@ -1,0 +1,235 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"sparseorder/internal/gen"
+)
+
+// smallSet is a tiny matrix list for runner tests: full EvaluateMatrix on
+// each member is cheap enough to run repeatedly.
+func smallSet() []gen.Matrix {
+	return []gen.Matrix{
+		{Name: "g0", Group: "mesh", Kind: "fem-2d", SPD: true, A: gen.Grid2D(10, 10)},
+		{Name: "g1", Group: "mesh", Kind: "fem-2d", SPD: true, A: gen.Scramble(gen.Grid2D(11, 11), 1)},
+		{Name: "g2", Group: "banded", Kind: "banded", SPD: true, A: gen.Banded(120, 6, 0.5, 2)},
+		{Name: "g3", Group: "random", Kind: "random-sparse", SPD: true, A: gen.ErdosRenyi(150, 4, 3)},
+	}
+}
+
+// TestRunStudyMatricesDeterministicAcrossWorkers checks the runner's core
+// guarantee: the result is identical for any worker count, with results at
+// their collection index regardless of completion order.
+func TestRunStudyMatricesDeterministicAcrossWorkers(t *testing.T) {
+	ms := smallSet()
+	run := func(workers int) *StudyResult {
+		s, err := RunStudyMatrices(context.Background(), Config{Scale: gen.ScaleTest, Seed: 7, Workers: workers}, ms)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return s
+	}
+	serial := run(1)
+	for _, workers := range []int{2, 4, 9} {
+		par := run(workers)
+		if len(par.Matrices) != len(ms) || len(par.Failures) != 0 {
+			t.Fatalf("workers=%d: %d results, %d failures", workers, len(par.Matrices), len(par.Failures))
+		}
+		for i := range ms {
+			a, b := serial.Matrices[i], par.Matrices[i]
+			if a.Name != b.Name {
+				t.Fatalf("workers=%d: result %d is %s, want %s (order not deterministic)", workers, i, b.Name, a.Name)
+			}
+			// Everything except wall-clock reorder timings must be
+			// bit-identical.
+			if !reflect.DeepEqual(a.Perf, b.Perf) {
+				t.Errorf("workers=%d: %s Perf differs from serial run", workers, a.Name)
+			}
+			if !reflect.DeepEqual(a.Features, b.Features) {
+				t.Errorf("workers=%d: %s Features differ from serial run", workers, a.Name)
+			}
+			if !reflect.DeepEqual(a.FillRatio, b.FillRatio) {
+				t.Errorf("workers=%d: %s FillRatio differs from serial run", workers, a.Name)
+			}
+		}
+	}
+}
+
+// TestRunStudyIsolatesInjectedError checks that a failing matrix is
+// recorded in Failures while every other matrix still completes.
+func TestRunStudyIsolatesInjectedError(t *testing.T) {
+	ms := smallSet()
+	boom := errors.New("ordering exploded")
+	eval := func(ctx context.Context, m gen.Matrix, cfg Config) (*MatrixResult, error) {
+		if m.Name == "g1" {
+			return nil, &MatrixError{Name: m.Name, Ordering: "RCM", Err: boom}
+		}
+		return &MatrixResult{Name: m.Name}, nil
+	}
+	s, err := runStudy(context.Background(), Config{Workers: 4}, ms, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := names(s); !reflect.DeepEqual(got, []string{"g0", "g2", "g3"}) {
+		t.Fatalf("successful matrices = %v", got)
+	}
+	if len(s.Failures) != 1 {
+		t.Fatalf("%d failures, want 1", len(s.Failures))
+	}
+	f := s.Failures[0]
+	if f.Name != "g1" || f.Ordering != "RCM" || !errors.Is(&f, boom) {
+		t.Errorf("failure = %+v", f)
+	}
+	if !strings.Contains(f.Error(), "g1") || !strings.Contains(f.Error(), "RCM") {
+		t.Errorf("failure message %q missing matrix or ordering", f.Error())
+	}
+}
+
+// TestRunStudyRecoversPanic checks the bugfix headline: a panic inside a
+// worker is converted to a recorded failure instead of killing the run.
+func TestRunStudyRecoversPanic(t *testing.T) {
+	ms := smallSet()
+	eval := func(ctx context.Context, m gen.Matrix, cfg Config) (*MatrixResult, error) {
+		if m.Name == "g2" {
+			panic("pathological matrix")
+		}
+		return &MatrixResult{Name: m.Name}, nil
+	}
+	s, err := runStudy(context.Background(), Config{Workers: 4}, ms, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Matrices) != 3 || len(s.Failures) != 1 {
+		t.Fatalf("%d results, %d failures", len(s.Matrices), len(s.Failures))
+	}
+	f := s.Failures[0]
+	if f.Name != "g2" || !strings.Contains(f.Err.Error(), "panic: pathological matrix") {
+		t.Errorf("failure = %v", &f)
+	}
+}
+
+// TestRunStudyMatricesRecoversRealPanic drives the public entry point with
+// a matrix that makes the real EvaluateMatrix panic (nil CSR).
+func TestRunStudyMatricesRecoversRealPanic(t *testing.T) {
+	ms := smallSet()
+	ms[2].A = nil // nil deref inside EvaluateMatrix
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("panic escaped RunStudyMatrices: %v", r)
+		}
+	}()
+	// The nil matrix panics as early as the runner's own progress-log
+	// arguments (m.A.Rows); that panic must not escape either.
+	cfg := Config{Scale: gen.ScaleTest, Seed: 7, Workers: 3}
+	s, err := RunStudyMatrices(context.Background(), cfg, ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Matrices) != 3 || len(s.Failures) != 1 {
+		t.Fatalf("%d results, %d failures", len(s.Matrices), len(s.Failures))
+	}
+	if s.Failures[0].Name != "g2" || !strings.Contains(s.Failures[0].Err.Error(), "panic") {
+		t.Errorf("failure = %v", &s.Failures[0])
+	}
+}
+
+// TestRunStudyDeterministicOrderUnderSkew forces later matrices to finish
+// first and checks results still land in collection order.
+func TestRunStudyDeterministicOrderUnderSkew(t *testing.T) {
+	var ms []gen.Matrix
+	for i := 0; i < 8; i++ {
+		ms = append(ms, gen.Matrix{Name: fmt.Sprintf("m%d", i), A: gen.Grid2D(4, 4)})
+	}
+	eval := func(ctx context.Context, m gen.Matrix, cfg Config) (*MatrixResult, error) {
+		var i int
+		fmt.Sscanf(m.Name, "m%d", &i)
+		time.Sleep(time.Duration(len(ms)-i) * 10 * time.Millisecond)
+		return &MatrixResult{Name: m.Name}, nil
+	}
+	s, err := runStudy(context.Background(), Config{Workers: 8}, ms, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"m0", "m1", "m2", "m3", "m4", "m5", "m6", "m7"}
+	if got := names(s); !reflect.DeepEqual(got, want) {
+		t.Fatalf("order = %v, want %v", got, want)
+	}
+}
+
+// TestRunStudyTimeout checks that a matrix exceeding Config.Timeout is
+// recorded as a DeadlineExceeded failure while the rest complete.
+func TestRunStudyTimeout(t *testing.T) {
+	ms := smallSet()
+	eval := func(ctx context.Context, m gen.Matrix, cfg Config) (*MatrixResult, error) {
+		if m.Name == "g3" {
+			<-ctx.Done() // simulate an evaluation that never finishes
+			return nil, &MatrixError{Name: m.Name, Err: ctx.Err()}
+		}
+		return &MatrixResult{Name: m.Name}, nil
+	}
+	s, err := runStudy(context.Background(), Config{Workers: 2, Timeout: 30 * time.Millisecond}, ms, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Matrices) != 3 || len(s.Failures) != 1 {
+		t.Fatalf("%d results, %d failures", len(s.Matrices), len(s.Failures))
+	}
+	if f := s.Failures[0]; f.Name != "g3" || !errors.Is(&f, context.DeadlineExceeded) {
+		t.Errorf("failure = %v", &f)
+	}
+}
+
+// TestRunStudyCancellation checks that cancelling the study's context
+// aborts the whole run with the context's error.
+func TestRunStudyCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunStudyMatrices(ctx, Config{Scale: gen.ScaleTest, Workers: 2}, smallSet()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestRunStudyLogfSerialised checks progress logging is thread-safe even
+// with a Logf that is not: races would be caught by -race, interleaving by
+// the per-line counter check.
+func TestRunStudyLogfSerialised(t *testing.T) {
+	var lines []string // deliberately unguarded; the runner must serialise
+	cfg := Config{
+		Scale:   gen.ScaleTest,
+		Workers: 4,
+		Logf:    func(format string, args ...any) { lines = append(lines, fmt.Sprintf(format, args...)) },
+	}
+	s, err := RunStudyMatrices(context.Background(), cfg, smallSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Matrices) != 4 {
+		t.Fatalf("%d results", len(s.Matrices))
+	}
+	var done int
+	for _, l := range lines {
+		if strings.Contains(l, "done") {
+			done++
+		}
+	}
+	if done != 4 {
+		t.Fatalf("progress lines report %d completions in %d lines", done, len(lines))
+	}
+	if !strings.Contains(strings.Join(lines, "\n"), "[4/4]") {
+		t.Error("missing final [4/4] progress line")
+	}
+}
+
+func names(s *StudyResult) []string {
+	var out []string
+	for _, r := range s.Matrices {
+		out = append(out, r.Name)
+	}
+	return out
+}

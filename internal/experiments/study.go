@@ -7,7 +7,7 @@
 package experiments
 
 import (
-	"fmt"
+	"context"
 	"runtime"
 	"time"
 
@@ -31,7 +31,17 @@ type Config struct {
 	// Repeats is the number of timed host SpMV iterations; like the paper,
 	// the best run is reported. Default 10.
 	Repeats int
-	// Verbose emits per-matrix progress to Logf if set.
+	// Workers is the number of matrices RunStudy evaluates concurrently.
+	// Default runtime.GOMAXPROCS(0). Results are deterministic and land
+	// in collection order regardless of the worker count.
+	Workers int
+	// Timeout bounds each matrix's evaluation; 0 means no limit. The
+	// check is cooperative (between orderings and machine models), so a
+	// single very slow ordering can overshoot it. A timed-out matrix is
+	// recorded in StudyResult.Failures; the study continues.
+	Timeout time.Duration
+	// Logf receives per-matrix progress if set. RunStudy serialises calls
+	// to it, so it need not be safe for concurrent use itself.
 	Logf func(format string, args ...any)
 }
 
@@ -47,6 +57,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Repeats == 0 {
 		c.Repeats = 10
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
@@ -102,10 +115,13 @@ func (r *MatrixResult) Speedup(mach string, k machine.Kernel, alg reorder.Algori
 	return perf[alg].Gflops / base
 }
 
-// StudyResult is the output of RunStudy.
+// StudyResult is the output of RunStudy. Matrices holds the successful
+// evaluations in collection order; Failures the matrices that could not
+// be evaluated, also in collection order.
 type StudyResult struct {
 	Config   Config
 	Matrices []*MatrixResult
+	Failures []MatrixError
 }
 
 // featureBlocks is the block count for the off-diagonal nonzero feature;
@@ -115,6 +131,14 @@ const featureBlocks = 128
 // EvaluateMatrix runs the full per-matrix pipeline: all orderings, all
 // machine models, both kernels, features and (for SPD inputs) fill-in.
 func EvaluateMatrix(m gen.Matrix, cfg Config) (*MatrixResult, error) {
+	return EvaluateMatrixContext(context.Background(), m, cfg)
+}
+
+// EvaluateMatrixContext is EvaluateMatrix with cooperative cancellation:
+// the context is checked between orderings and machine models, so a
+// cancelled or timed-out evaluation returns promptly without finishing
+// the remaining orderings. Failures are reported as *MatrixError.
+func EvaluateMatrixContext(ctx context.Context, m gen.Matrix, cfg Config) (*MatrixResult, error) {
 	cfg = cfg.withDefaults()
 	res := &MatrixResult{
 		Name:           m.Name,
@@ -163,6 +187,10 @@ func EvaluateMatrix(m gen.Matrix, cfg Config) (*MatrixResult, error) {
 		}
 	}
 
+	if err := ctx.Err(); err != nil {
+		return nil, &MatrixError{Name: m.Name, Err: err}
+	}
+
 	// Original ordering first.
 	evalOrdering(reorder.Original, m.A, cfg.Machines)
 	res.Features[reorder.Original] = metrics.Compute(m.A, featureBlocks, featureBlocks)
@@ -173,25 +201,31 @@ func EvaluateMatrix(m gen.Matrix, cfg Config) (*MatrixResult, error) {
 	}
 
 	for _, alg := range cfg.Orderings {
+		if err := ctx.Err(); err != nil {
+			return nil, &MatrixError{Name: m.Name, Err: err}
+		}
 		switch alg {
 		case reorder.GP:
 			// One GP ordering per distinct machine core count.
 			var total float64
 			for _, mc := range cfg.Machines {
+				if err := ctx.Err(); err != nil {
+					return nil, &MatrixError{Name: m.Name, Ordering: alg, Err: err}
+				}
 				p, ok := gpParts[mc.Cores]
 				if !ok {
 					start := time.Now()
 					var err error
 					p, err = reorder.Compute(reorder.GP, m.A, reorder.Options{Seed: cfg.Seed, Parts: mc.Cores})
 					if err != nil {
-						return nil, fmt.Errorf("%s on %s: %w", alg, m.Name, err)
+						return nil, &MatrixError{Name: m.Name, Ordering: alg, Err: err}
 					}
 					total += time.Since(start).Seconds()
 					gpParts[mc.Cores] = p
 				}
 				b, err := sparse.PermuteSymmetric(m.A, p)
 				if err != nil {
-					return nil, err
+					return nil, &MatrixError{Name: m.Name, Ordering: alg, Err: err}
 				}
 				evalOrdering(alg, b, []machine.Machine{mc})
 			}
@@ -201,7 +235,7 @@ func EvaluateMatrix(m gen.Matrix, cfg Config) (*MatrixResult, error) {
 			p := gpParts[largestCores(cfg.Machines)]
 			b, err := sparse.PermuteSymmetric(m.A, p)
 			if err != nil {
-				return nil, err
+				return nil, &MatrixError{Name: m.Name, Ordering: alg, Err: err}
 			}
 			res.Features[alg] = metrics.Compute(b, featureBlocks, featureBlocks)
 			if m.SPD {
@@ -213,7 +247,7 @@ func EvaluateMatrix(m gen.Matrix, cfg Config) (*MatrixResult, error) {
 			start := time.Now()
 			b, _, err := reorder.Apply(alg, m.A, reorder.Options{Seed: cfg.Seed})
 			if err != nil {
-				return nil, fmt.Errorf("%s on %s: %w", alg, m.Name, err)
+				return nil, &MatrixError{Name: m.Name, Ordering: alg, Err: err}
 			}
 			res.ReorderSeconds[alg] = time.Since(start).Seconds()
 			evalOrdering(alg, b, cfg.Machines)
@@ -236,25 +270,6 @@ func largestCores(ms []machine.Machine) int {
 		}
 	}
 	return best
-}
-
-// RunStudy evaluates the whole synthetic collection. It sets the machine
-// model's cache scaling to match the collection scale (see
-// machine.CacheScaleFor) so the cache-pressure regime mirrors the paper's.
-func RunStudy(cfg Config) (*StudyResult, error) {
-	cfg = cfg.withDefaults()
-	machine.CacheScale = machine.CacheScaleFor(cfg.Scale.Factor())
-	coll := gen.Collection(cfg.Scale, cfg.Seed)
-	out := &StudyResult{Config: cfg}
-	for _, m := range coll {
-		cfg.Logf("evaluating %s (%d rows, %d nnz)", m.Name, m.A.Rows, m.A.NNZ())
-		r, err := EvaluateMatrix(m, cfg)
-		if err != nil {
-			return nil, err
-		}
-		out.Matrices = append(out.Matrices, r)
-	}
-	return out, nil
 }
 
 // Speedups collects the speedup of alg over Original across all matrices

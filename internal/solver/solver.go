@@ -14,6 +14,36 @@ import (
 	"sparseorder/internal/spmv"
 )
 
+// Kernel selects the SpMV kernel CG uses for the A·p product of each
+// iteration. The 2D and merge kernels build their execution plan once per
+// solve and reuse it every iteration, so the planning cost is amortised
+// over the whole solve exactly as the paper's §4.7 argues for reordering
+// cost.
+type Kernel int
+
+const (
+	// Kernel1D is the study's 1D row-split kernel (the default).
+	Kernel1D Kernel = iota
+	// Kernel2D is the study's 2D nonzero-balanced kernel.
+	Kernel2D
+	// KernelMerge is the merge-based kernel of Merrill and Garland.
+	KernelMerge
+)
+
+// String returns the kernel's short name.
+func (k Kernel) String() string {
+	switch k {
+	case Kernel1D:
+		return "1D"
+	case Kernel2D:
+		return "2D"
+	case KernelMerge:
+		return "merge"
+	default:
+		return fmt.Sprintf("Kernel(%d)", int(k))
+	}
+}
+
 // Options configure a CG solve; zero values take the documented defaults.
 type Options struct {
 	// Tol is the absolute residual 2-norm tolerance. Default 1e-8.
@@ -24,6 +54,10 @@ type Options struct {
 	Threads int
 	// Jacobi enables diagonal (Jacobi) preconditioning.
 	Jacobi bool
+	// Kernel is the SpMV kernel used for every iteration's A·p product.
+	// Default Kernel1D. Kernel2D and KernelMerge build their plan once at
+	// the start of the solve and reuse it for every iteration.
+	Kernel Kernel
 }
 
 func (o Options) withDefaults(n int) Options {
@@ -59,6 +93,13 @@ func CG(a *sparse.CSR, b []float64, opts Options) (*Result, error) {
 	}
 	n := a.Rows
 	opts = opts.withDefaults(n)
+
+	// Build the per-iteration multiply once: for the planned kernels this
+	// constructs the plan a single time and reuses it every iteration.
+	mul, err := multiplier(a, opts)
+	if err != nil {
+		return nil, err
+	}
 
 	var diagInv []float64
 	if opts.Jacobi {
@@ -97,7 +138,9 @@ func CG(a *sparse.CSR, b []float64, opts Options) (*Result, error) {
 			res.Converged = true
 			break
 		}
-		spmv.Mul1D(a, p, ap, opts.Threads)
+		if err := mul(p, ap); err != nil {
+			return nil, fmt.Errorf("solver: SpMV at iteration %d: %w", res.Iterations, err)
+		}
 		res.SpMVCount++
 		pap := dot(p, ap)
 		if pap <= 0 {
@@ -151,6 +194,29 @@ func SolveReordered(pa *sparse.CSR, perm sparse.Perm, b []float64, opts Options)
 	}
 	res.X = x
 	return res, nil
+}
+
+// multiplier returns the y = A·x routine for the selected kernel. Plans
+// for the 2D and merge kernels are built here, exactly once per solve.
+func multiplier(a *sparse.CSR, opts Options) (func(x, y []float64) error, error) {
+	switch opts.Kernel {
+	case Kernel1D:
+		return func(x, y []float64) error { return spmv.Mul1D(a, x, y, opts.Threads) }, nil
+	case Kernel2D:
+		p, err := spmv.NewPlan2D(a, opts.Threads)
+		if err != nil {
+			return nil, fmt.Errorf("solver: building 2D plan: %w", err)
+		}
+		return func(x, y []float64) error { return spmv.Mul2D(a, x, y, p) }, nil
+	case KernelMerge:
+		p, err := spmv.NewPlanMerge(a, opts.Threads)
+		if err != nil {
+			return nil, fmt.Errorf("solver: building merge plan: %w", err)
+		}
+		return func(x, y []float64) error { return spmv.MulMerge(a, x, y, p) }, nil
+	default:
+		return nil, fmt.Errorf("solver: unknown SpMV kernel %d", int(opts.Kernel))
+	}
 }
 
 func dot(a, b []float64) float64 {

@@ -90,6 +90,45 @@ func TestCGParallelThreadsAgree(t *testing.T) {
 	}
 }
 
+// TestCGKernelsAgree checks that each SpMV kernel drives CG to the same
+// solution — the amortization experiment of §4.7 requires swapping the 2D
+// and merge kernels into the solve.
+func TestCGKernelsAgree(t *testing.T) {
+	a := gen.Scramble(gen.Grid2D(14, 14), 5)
+	xTrue, b := systemFor(t, a, 5)
+	for _, k := range []Kernel{Kernel1D, Kernel2D, KernelMerge} {
+		for _, threads := range []int{1, 4} {
+			res, err := CG(a, b, Options{Tol: 1e-10, Threads: threads, Kernel: k})
+			if err != nil {
+				t.Fatalf("kernel=%s threads=%d: %v", k, threads, err)
+			}
+			if !res.Converged {
+				t.Fatalf("kernel=%s threads=%d did not converge", k, threads)
+			}
+			for i := range xTrue {
+				if math.Abs(res.X[i]-xTrue[i]) > 1e-6 {
+					t.Fatalf("kernel=%s threads=%d: wrong solution at %d", k, threads, i)
+				}
+			}
+		}
+	}
+}
+
+func TestCGRejectsUnknownKernel(t *testing.T) {
+	a := gen.Grid2D(4, 4)
+	if _, err := CG(a, make([]float64, a.Rows), Options{Kernel: Kernel(99)}); err == nil {
+		t.Error("accepted unknown kernel")
+	}
+}
+
+func TestKernelStrings(t *testing.T) {
+	for k, want := range map[Kernel]string{Kernel1D: "1D", Kernel2D: "2D", KernelMerge: "merge"} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}
+
 func TestSolveReorderedMatchesDirect(t *testing.T) {
 	a := gen.Scramble(gen.Grid2D(15, 15), 4)
 	xTrue, b := systemFor(t, a, 4)

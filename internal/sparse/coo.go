@@ -27,8 +27,16 @@ func NewCOO(rows, cols, nnz int) *COO {
 	}
 }
 
-// Append adds the entry (i, j, v).
+// Append adds the entry (i, j, v). Storage uses int32 indices; an index
+// outside the int32 range panics immediately rather than being narrowed
+// (a wrapped index could land back inside the matrix dimensions, where
+// Validate cannot tell it from a legitimate entry). Dimension bounds are
+// checked later by Validate/ToCSR; readers of untrusted input should
+// range-check before appending, as ReadMatrixMarket does.
 func (c *COO) Append(i, j int, v float64) {
+	if int(int32(i)) != i || int(int32(j)) != j {
+		panic(fmt.Sprintf("sparse: COO index (%d,%d) overflows int32", i, j))
+	}
 	c.Row = append(c.Row, int32(i))
 	c.Col = append(c.Col, int32(j))
 	c.Val = append(c.Val, v)

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -26,8 +27,11 @@ type MMHeader struct {
 // matrices receive unit values.
 func ReadMatrixMarket(r io.Reader) (*CSR, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
+	// Tolerate EOF on the banner read the same way the size-line loop
+	// does: a stream holding only a banner (no trailing newline) should
+	// be judged on the banner's content, not fail with a read error.
 	banner, err := br.ReadString('\n')
-	if err != nil {
+	if err != nil && banner == "" {
 		return nil, fmt.Errorf("sparse: reading banner: %w", err)
 	}
 	fields := strings.Fields(strings.ToLower(banner))
@@ -68,6 +72,11 @@ func ReadMatrixMarket(r io.Reader) (*CSR, error) {
 	if rows < 0 || cols < 0 || nnz < 0 {
 		return nil, fmt.Errorf("sparse: negative size line %d %d %d", rows, cols, nnz)
 	}
+	// COO stores int32 indices; reject dimensions it cannot represent
+	// before any entry is read.
+	if int64(rows) > math.MaxInt32 || int64(cols) > math.MaxInt32 {
+		return nil, fmt.Errorf("sparse: matrix dimensions %dx%d exceed the int32 index range", rows, cols)
+	}
 
 	coo := NewCOO(rows, cols, nnz)
 	read := 0
@@ -95,6 +104,16 @@ func ReadMatrixMarket(r io.Reader) (*CSR, error) {
 		j, err := strconv.Atoi(parts[1])
 		if err != nil {
 			return nil, fmt.Errorf("sparse: bad column index %q: %w", parts[1], err)
+		}
+		// Validate the 1-based indices against the size line here, before
+		// COO.Append narrows them to int32: an out-of-range 64-bit index
+		// could otherwise wrap back into range and silently corrupt the
+		// matrix instead of erroring.
+		if i < 1 || i > rows {
+			return nil, fmt.Errorf("sparse: entry %d: row index %d outside 1..%d", read+1, i, rows)
+		}
+		if j < 1 || j > cols {
+			return nil, fmt.Errorf("sparse: entry %d: column index %d outside 1..%d", read+1, j, cols)
 		}
 		v := 1.0
 		if h.Field != "pattern" {
@@ -165,7 +184,7 @@ func WritePermutation(w io.Writer, p Perm) error {
 func ReadPermutation(r io.Reader) (Perm, error) {
 	br := bufio.NewReader(r)
 	banner, err := br.ReadString('\n')
-	if err != nil {
+	if err != nil && banner == "" {
 		return nil, fmt.Errorf("sparse: reading banner: %w", err)
 	}
 	if !strings.HasPrefix(strings.ToLower(banner), "%%matrixmarket matrix array integer") {

@@ -469,3 +469,76 @@ func TestMatrixMarketRejectsNegativeSizes(t *testing.T) {
 		}
 	}
 }
+
+// TestMatrixMarketRejectsWrappedIndex feeds an index that, narrowed to
+// int32, would wrap back inside the matrix dimensions (4294967298-1 =
+// 2^32+1 → int32 1). Before index validation moved to read time this
+// silently corrupted the matrix; it must be a clear error.
+func TestMatrixMarketRejectsWrappedIndex(t *testing.T) {
+	in := "%%MatrixMarket matrix coordinate real general\n" +
+		"2 2 2\n" +
+		"1 1 1.0\n" +
+		"4294967298 1 7.0\n"
+	_, err := ReadMatrixMarket(strings.NewReader(in))
+	if err == nil {
+		t.Fatal("accepted a 64-bit row index that wraps into range")
+	}
+	if !strings.Contains(err.Error(), "outside 1..2") {
+		t.Errorf("error %q does not name the valid range", err)
+	}
+}
+
+func TestMatrixMarketRejectsOutOfRangeIndices(t *testing.T) {
+	for _, entry := range []string{"0 1 1.0", "3 1 1.0", "1 0 1.0", "1 3 1.0", "-1 1 1.0"} {
+		in := "%%MatrixMarket matrix coordinate real general\n2 2 1\n" + entry + "\n"
+		if _, err := ReadMatrixMarket(strings.NewReader(in)); err == nil {
+			t.Errorf("accepted entry %q on a 2x2 matrix", entry)
+		}
+	}
+}
+
+func TestMatrixMarketRejectsHugeDimensions(t *testing.T) {
+	in := "%%MatrixMarket matrix coordinate real general\n3000000000 2 1\n1 1 1.0\n"
+	if _, err := ReadMatrixMarket(strings.NewReader(in)); err == nil {
+		t.Error("accepted dimensions beyond the int32 index range")
+	}
+}
+
+// TestMatrixMarketBannerEOFTolerance checks the banner read mirrors the
+// size-line EOF tolerance: a stream that ends (without newline) right
+// after the banner is judged on the banner's content.
+func TestMatrixMarketBannerEOFTolerance(t *testing.T) {
+	// Valid banner, nothing else: the size line is what is missing.
+	_, err := ReadMatrixMarket(strings.NewReader("%%MatrixMarket matrix coordinate real general"))
+	if err == nil || !strings.Contains(err.Error(), "missing size line") {
+		t.Errorf("banner-only stream: err = %v, want missing size line", err)
+	}
+	// Malformed banner, no newline: must report the malformed banner, not
+	// a spurious read error.
+	_, err = ReadMatrixMarket(strings.NewReader("%%MatrixMarket matrix"))
+	if err == nil || !strings.Contains(err.Error(), "malformed Matrix Market banner") {
+		t.Errorf("truncated banner: err = %v, want malformed banner", err)
+	}
+	// Empty stream still reports the read failure.
+	_, err = ReadMatrixMarket(strings.NewReader(""))
+	if err == nil || !strings.Contains(err.Error(), "reading banner") {
+		t.Errorf("empty stream: err = %v, want reading banner", err)
+	}
+}
+
+func TestReadPermutationBannerEOFTolerance(t *testing.T) {
+	_, err := ReadPermutation(strings.NewReader("%%MatrixMarket matrix array integer general"))
+	if err == nil || !strings.Contains(err.Error(), "missing size line") {
+		t.Errorf("banner-only permutation: err = %v, want missing size line", err)
+	}
+}
+
+func TestCOOAppendOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Append silently narrowed an out-of-int32-range index")
+		}
+	}()
+	c := NewCOO(2, 2, 1)
+	c.Append(1<<32+1, 0, 1)
+}

@@ -15,10 +15,16 @@ import (
 // compare-and-swap loop. It is measurably slower under contention, which
 // is why the paper's formulation — and Mul2D — handle the first and last
 // row of each thread specially.
-func Mul2DAtomic(a *sparse.CSR, x, y []float64, p *Plan2D) {
+func Mul2DAtomic(a *sparse.CSR, x, y []float64, p *Plan2D) error {
+	if err := checkDims(a, x, y); err != nil {
+		return err
+	}
+	if err := p.CheckPlan(a); err != nil {
+		return err
+	}
 	if p.Threads == 1 {
-		Serial(a, x, y)
-		return
+		serialUnchecked(a, x, y)
+		return nil
 	}
 	var wg sync.WaitGroup
 	zb := RowBlocks1D(a.Rows, p.Threads)
@@ -68,6 +74,7 @@ func Mul2DAtomic(a *sparse.CSR, x, y []float64, p *Plan2D) {
 		}(t, kLo, kHi)
 	}
 	wg.Wait()
+	return nil
 }
 
 // atomicAdd performs y += v with a CAS loop on the float64's bits.

@@ -1,6 +1,7 @@
 package spmv
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 
@@ -69,14 +70,36 @@ func mergePathSearch(rowPtr []int, rows, nnz, d int) int {
 	})
 }
 
+// CheckPlan reports whether the plan matches the matrix; like
+// Plan2D.CheckPlan it is O(1) and run on every MulMerge call. A PlanMerge
+// follows the same reuse contract as Plan2D: rebuild it whenever the
+// matrix's structure changes.
+func (p *PlanMerge) CheckPlan(a *sparse.CSR) error {
+	if len(p.StartRow) != p.Threads+1 || len(p.StartNZ) != p.Threads+1 {
+		return fmt.Errorf("spmv: malformed PlanMerge: threads=%d but %d/%d split points",
+			p.Threads, len(p.StartRow), len(p.StartNZ))
+	}
+	if p.StartNZ[p.Threads] != a.NNZ() || p.StartRow[p.Threads] != a.Rows {
+		return fmt.Errorf("spmv: PlanMerge built for a different matrix (plan covers %d nonzeros / %d rows, matrix has %d / %d); rebuild with NewPlanMerge",
+			p.StartNZ[p.Threads], p.StartRow[p.Threads], a.NNZ(), a.Rows)
+	}
+	return nil
+}
+
 // MulMerge computes y = A·x with the merge-based kernel. Rows completed by
 // a thread are written directly; the trailing partial row of each thread
 // is carried out and added in a short sequential fix-up, mirroring the
 // carry-out scheme of the original kernel.
-func MulMerge(a *sparse.CSR, x, y []float64, p *PlanMerge) {
+func MulMerge(a *sparse.CSR, x, y []float64, p *PlanMerge) error {
+	if err := checkDims(a, x, y); err != nil {
+		return err
+	}
+	if err := p.CheckPlan(a); err != nil {
+		return err
+	}
 	if p.Threads == 1 {
-		Serial(a, x, y)
-		return
+		serialUnchecked(a, x, y)
+		return nil
 	}
 	var wg sync.WaitGroup
 	for t := 0; t < p.Threads; t++ {
@@ -111,6 +134,7 @@ func MulMerge(a *sparse.CSR, x, y []float64, p *PlanMerge) {
 			y[r] += p.carryVal[t]
 		}
 	}
+	return nil
 }
 
 func errThreads(threads int) error {

@@ -19,9 +19,32 @@ import (
 	"sparseorder/internal/sparse"
 )
 
+// checkDims validates the vector lengths of a y = A·x entry point. Every
+// exported kernel calls it on the calling goroutine before any worker is
+// spawned, so a short vector surfaces as a clear error instead of an
+// index-out-of-range panic inside an anonymous goroutine (which would
+// kill the whole process unrecoverably).
+func checkDims(a *sparse.CSR, x, y []float64) error {
+	if len(x) < a.Cols {
+		return fmt.Errorf("spmv: x has %d entries, need at least a.Cols = %d", len(x), a.Cols)
+	}
+	if len(y) < a.Rows {
+		return fmt.Errorf("spmv: y has %d entries, need at least a.Rows = %d", len(y), a.Rows)
+	}
+	return nil
+}
+
 // Serial computes y = A·x on the calling goroutine; it is the reference
 // implementation the parallel kernels are validated against.
-func Serial(a *sparse.CSR, x, y []float64) {
+func Serial(a *sparse.CSR, x, y []float64) error {
+	if err := checkDims(a, x, y); err != nil {
+		return err
+	}
+	serialUnchecked(a, x, y)
+	return nil
+}
+
+func serialUnchecked(a *sparse.CSR, x, y []float64) {
 	for i := 0; i < a.Rows; i++ {
 		sum := 0.0
 		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
@@ -54,10 +77,13 @@ func ThreadNNZ1D(a *sparse.CSR, threads int) []int {
 
 // Mul1D computes y = A·x with the 1D algorithm on the given number of
 // threads (goroutines).
-func Mul1D(a *sparse.CSR, x, y []float64, threads int) {
+func Mul1D(a *sparse.CSR, x, y []float64, threads int) error {
+	if err := checkDims(a, x, y); err != nil {
+		return err
+	}
 	if threads <= 1 {
-		Serial(a, x, y)
-		return
+		serialUnchecked(a, x, y)
+		return nil
 	}
 	b := RowBlocks1D(a.Rows, threads)
 	var wg sync.WaitGroup
@@ -79,6 +105,7 @@ func Mul1D(a *sparse.CSR, x, y []float64, threads int) {
 		}(lo, hi)
 	}
 	wg.Wait()
+	return nil
 }
 
 // Plan2D holds the one-time preprocessing of the 2D algorithm for a fixed
@@ -86,6 +113,15 @@ func Mul1D(a *sparse.CSR, x, y []float64, threads int) {
 // the first row its range touches. The paper amortises this cost over many
 // SpMV iterations and excludes it from measurements; reusing a Plan2D does
 // the same.
+//
+// Reuse contract: a Plan2D is valid only for the exact matrix it was built
+// from. If the matrix's structure changes in any way (entries added or
+// removed, rows permuted, a different matrix substituted), the plan must
+// be rebuilt with NewPlan2D; Mul2D rejects a plan whose split points no
+// longer cover the matrix. A plan may be reused for value-only updates
+// that keep RowPtr identical. Plans are not safe for concurrent Mul2D
+// calls sharing one plan (the per-thread partial buffers are reused);
+// build one plan per concurrent consumer.
 type Plan2D struct {
 	Threads  int
 	KSplit   []int // KSplit[t] = first nonzero of thread t; len threads+1
@@ -135,14 +171,40 @@ func (p *Plan2D) ThreadNNZ() []int {
 	return nnz
 }
 
+// CheckPlan reports whether the plan matches the matrix: the split points
+// must cover exactly the matrix's nonzeros and rows. The check is O(1), so
+// Mul2D runs it on every call — a stale plan (built for a different matrix
+// or an out-of-date structure) would otherwise silently compute garbage or
+// panic inside a worker goroutine.
+func (p *Plan2D) CheckPlan(a *sparse.CSR) error {
+	if len(p.KSplit) != p.Threads+1 || len(p.RowStart) != p.Threads+1 {
+		return fmt.Errorf("spmv: malformed Plan2D: threads=%d but %d/%d split points",
+			p.Threads, len(p.KSplit), len(p.RowStart))
+	}
+	if p.KSplit[p.Threads] != a.NNZ() || p.RowStart[p.Threads] != a.Rows {
+		return fmt.Errorf("spmv: Plan2D built for a different matrix (plan covers %d nonzeros / %d rows, matrix has %d / %d); rebuild with NewPlan2D",
+			p.KSplit[p.Threads], p.RowStart[p.Threads], a.NNZ(), a.Rows)
+	}
+	return nil
+}
+
 // Mul2D computes y = A·x with the 2D (nonzero-balanced) algorithm using the
 // given plan. Rows fully inside a thread's nonzero range are written
 // directly; rows straddling a boundary are accumulated thread-locally and
 // combined in a short sequential fix-up pass, avoiding atomics.
-func Mul2D(a *sparse.CSR, x, y []float64, p *Plan2D) {
+//
+// The plan must have been built from this exact matrix (see the Plan2D
+// reuse contract); a mismatched plan is rejected with an error.
+func Mul2D(a *sparse.CSR, x, y []float64, p *Plan2D) error {
+	if err := checkDims(a, x, y); err != nil {
+		return err
+	}
+	if err := p.CheckPlan(a); err != nil {
+		return err
+	}
 	if p.Threads == 1 {
-		Serial(a, x, y)
-		return
+		serialUnchecked(a, x, y)
+		return nil
 	}
 	var wg sync.WaitGroup
 	// Zero the output in parallel row blocks; boundary and empty rows rely
@@ -204,6 +266,7 @@ func Mul2D(a *sparse.CSR, x, y []float64, p *Plan2D) {
 			y[pr.row] += pr.sum
 		}
 	}
+	return nil
 }
 
 // Mul2DFresh is a convenience wrapper building a throwaway plan; prefer
@@ -213,8 +276,7 @@ func Mul2DFresh(a *sparse.CSR, x, y []float64, threads int) error {
 	if err != nil {
 		return err
 	}
-	Mul2D(a, x, y, p)
-	return nil
+	return Mul2D(a, x, y, p)
 }
 
 // Gflops converts an SpMV time in seconds to Gflop/s using the paper's

@@ -439,3 +439,79 @@ func TestMulTMatchesTranspose(t *testing.T) {
 		}
 	}
 }
+
+// TestShortVectorsRejected checks that every entry point reports a short x
+// or y as an error from the calling goroutine instead of an index
+// out-of-range panic inside a worker (which would kill the process).
+func TestShortVectorsRejected(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	a := randomCSR(rng, 20, 30, 80)
+	p2, err := NewPlan2D(a, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, err := NewPlanMerge(a, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	okX, okY := randomVec(rng, a.Cols), make([]float64, a.Rows)
+	okXT, okYT := randomVec(rng, a.Rows), make([]float64, a.Cols)
+	cases := []struct {
+		name string
+		call func(x, y []float64) error
+		x, y []float64
+	}{
+		{"Serial", func(x, y []float64) error { return Serial(a, x, y) }, okX, okY},
+		{"Mul1D", func(x, y []float64) error { return Mul1D(a, x, y, 4) }, okX, okY},
+		{"Mul2D", func(x, y []float64) error { return Mul2D(a, x, y, p2) }, okX, okY},
+		{"Mul2DAtomic", func(x, y []float64) error { return Mul2DAtomic(a, x, y, p2) }, okX, okY},
+		{"MulMerge", func(x, y []float64) error { return MulMerge(a, x, y, pm) }, okX, okY},
+		{"SerialT", func(x, y []float64) error { return SerialT(a, x, y) }, okXT, okYT},
+		{"MulT", func(x, y []float64) error { return MulT(a, x, y, 4) }, okXT, okYT},
+	}
+	for _, c := range cases {
+		if err := c.call(c.x, c.y); err != nil {
+			t.Errorf("%s rejected correctly sized vectors: %v", c.name, err)
+		}
+		if err := c.call(c.x[:len(c.x)-1], c.y); err == nil {
+			t.Errorf("%s accepted short x", c.name)
+		}
+		if err := c.call(c.x, c.y[:len(c.y)-1]); err == nil {
+			t.Errorf("%s accepted short y", c.name)
+		}
+	}
+}
+
+// TestStalePlanRejected checks the plan/matrix consistency guard: a plan
+// built for one matrix must not silently compute garbage on another.
+func TestStalePlanRejected(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	a := randomCSR(rng, 30, 30, 200)
+	b := randomCSR(rng, 30, 30, 100) // same shape, different structure
+	x := randomVec(rng, 30)
+	y := make([]float64, 30)
+
+	p2, err := NewPlan2D(a, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Mul2D(b, x, y, p2); err == nil {
+		t.Error("Mul2D accepted a plan built for a different matrix")
+	}
+	if err := Mul2DAtomic(b, x, y, p2); err == nil {
+		t.Error("Mul2DAtomic accepted a plan built for a different matrix")
+	}
+	pm, err := NewPlanMerge(a, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := MulMerge(b, x, y, pm); err == nil {
+		t.Error("MulMerge accepted a plan built for a different matrix")
+	}
+
+	// A malformed (hand-built) plan is rejected too.
+	bad := &Plan2D{Threads: 4, KSplit: []int{0, a.NNZ()}, RowStart: []int{0, a.Rows}}
+	if err := Mul2D(a, x, y, bad); err == nil {
+		t.Error("Mul2D accepted a malformed plan")
+	}
+}

@@ -1,13 +1,34 @@
 package spmv
 
 import (
+	"fmt"
 	"sync"
 
 	"sparseorder/internal/sparse"
 )
 
+// checkDimsT validates vector lengths for the transposed product
+// y = Aᵀ·x, where x spans rows and y spans columns.
+func checkDimsT(a *sparse.CSR, x, y []float64) error {
+	if len(x) < a.Rows {
+		return fmt.Errorf("spmv: x has %d entries, need at least a.Rows = %d", len(x), a.Rows)
+	}
+	if len(y) < a.Cols {
+		return fmt.Errorf("spmv: y has %d entries, need at least a.Cols = %d", len(y), a.Cols)
+	}
+	return nil
+}
+
 // SerialT computes y = Aᵀ·x by scattering row contributions into y.
-func SerialT(a *sparse.CSR, x, y []float64) {
+func SerialT(a *sparse.CSR, x, y []float64) error {
+	if err := checkDimsT(a, x, y); err != nil {
+		return err
+	}
+	serialTUnchecked(a, x, y)
+	return nil
+}
+
+func serialTUnchecked(a *sparse.CSR, x, y []float64) {
 	for j := range y {
 		y[j] = 0
 	}
@@ -26,10 +47,13 @@ func SerialT(a *sparse.CSR, x, y []float64) {
 // into a private accumulator, and the accumulators are reduced into y in
 // parallel column blocks. Nonsymmetric iterative methods (e.g. BiCG,
 // least squares) need this kernel alongside the forward SpMV.
-func MulT(a *sparse.CSR, x, y []float64, threads int) {
+func MulT(a *sparse.CSR, x, y []float64, threads int) error {
+	if err := checkDimsT(a, x, y); err != nil {
+		return err
+	}
 	if threads <= 1 || a.Rows < 2*threads {
-		SerialT(a, x, y)
-		return
+		serialTUnchecked(a, x, y)
+		return nil
 	}
 	locals := make([][]float64, threads)
 	rb := RowBlocks1D(a.Rows, threads)
@@ -73,4 +97,5 @@ func MulT(a *sparse.CSR, x, y []float64, threads int) {
 		}(lo, hi)
 	}
 	wg.Wait()
+	return nil
 }

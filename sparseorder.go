@@ -1,9 +1,11 @@
 package sparseorder
 
 import (
+	"context"
 	"io"
 
 	"sparseorder/internal/cholesky"
+	"sparseorder/internal/experiments"
 	"sparseorder/internal/gen"
 	"sparseorder/internal/graph"
 	"sparseorder/internal/machine"
@@ -85,15 +87,19 @@ func Reorder(alg Ordering, a *Matrix, opts OrderingOptions) (*Matrix, Perm, erro
 	return reorder.Apply(alg, a, opts)
 }
 
-// SpMV computes y = A·x serially (the reference kernel).
-func SpMV(a *Matrix, x, y []float64) { spmv.Serial(a, x, y) }
+// SpMV computes y = A·x serially (the reference kernel). All SpMV entry
+// points validate vector lengths (len(x) ≥ a.Cols, len(y) ≥ a.Rows) and
+// return a descriptive error instead of panicking inside a goroutine.
+func SpMV(a *Matrix, x, y []float64) error { return spmv.Serial(a, x, y) }
 
 // SpMV1D computes y = A·x with the study's 1D kernel: rows are split into
 // equal contiguous blocks, one per thread.
-func SpMV1D(a *Matrix, x, y []float64, threads int) { spmv.Mul1D(a, x, y, threads) }
+func SpMV1D(a *Matrix, x, y []float64, threads int) error { return spmv.Mul1D(a, x, y, threads) }
 
 // Plan2D is the reusable preprocessing of the 2D (nonzero-balanced)
-// kernel.
+// kernel. A plan is valid only for the exact matrix it was built from and
+// must be rebuilt after any structural change; SpMV2D rejects mismatched
+// plans. See spmv.Plan2D for the full reuse contract.
 type Plan2D = spmv.Plan2D
 
 // NewPlan2D builds the 2D kernel's nonzero split for a fixed matrix and
@@ -101,8 +107,9 @@ type Plan2D = spmv.Plan2D
 func NewPlan2D(a *Matrix, threads int) (*Plan2D, error) { return spmv.NewPlan2D(a, threads) }
 
 // SpMV2D computes y = A·x with the study's 2D kernel using a prebuilt
-// plan.
-func SpMV2D(a *Matrix, x, y []float64, p *Plan2D) { spmv.Mul2D(a, x, y, p) }
+// plan. The plan must have been built from this exact matrix; a stale or
+// mismatched plan is rejected with an error.
+func SpMV2D(a *Matrix, x, y []float64, p *Plan2D) error { return spmv.Mul2D(a, x, y, p) }
 
 // PlanMerge is the reusable preprocessing of the merge-based kernel of
 // Merrill and Garland, of which the study's 2D kernel is a simplified
@@ -115,14 +122,30 @@ func NewPlanMerge(a *Matrix, threads int) (*PlanMerge, error) { return spmv.NewP
 
 // SpMVMerge computes y = A·x with the merge-based kernel, which balances
 // rows and nonzeros simultaneously (robust even to millions of empty rows).
-func SpMVMerge(a *Matrix, x, y []float64, p *PlanMerge) { spmv.MulMerge(a, x, y, p) }
+// Like SpMV2D it rejects a plan built for a different matrix.
+func SpMVMerge(a *Matrix, x, y []float64, p *PlanMerge) error { return spmv.MulMerge(a, x, y, p) }
 
 // SpMVTranspose computes y = Aᵀ·x in parallel using thread-private
 // accumulators.
-func SpMVTranspose(a *Matrix, x, y []float64, threads int) { spmv.MulT(a, x, y, threads) }
+func SpMVTranspose(a *Matrix, x, y []float64, threads int) error {
+	return spmv.MulT(a, x, y, threads)
+}
 
-// SolveOptions configure the conjugate-gradient solver.
+// SolveOptions configure the conjugate-gradient solver, including which
+// SpMV kernel runs each iteration's A·p product (SolveOptions.Kernel).
 type SolveOptions = solver.Options
+
+// SolveKernel selects the SpMV kernel used inside SolveCG. The planned
+// kernels build their plan once per solve and reuse it every iteration —
+// the paper's §4.7 amortization applied to kernel preprocessing.
+type SolveKernel = solver.Kernel
+
+// The CG SpMV kernels.
+const (
+	SolveKernel1D    = solver.Kernel1D // 1D row-split (default)
+	SolveKernel2D    = solver.Kernel2D // 2D nonzero-balanced, plan reused across iterations
+	SolveKernelMerge = solver.KernelMerge
+)
 
 // SolveResult reports a solve's outcome.
 type SolveResult = solver.Result
@@ -243,3 +266,34 @@ const (
 
 // Collection generates the deterministic synthetic matrix collection.
 func Collection(scale Scale, seed int64) []CollectionMatrix { return gen.Collection(scale, seed) }
+
+// StudyConfig controls a full study run (scale, seed, machines, worker
+// count, per-matrix timeout, progress logging).
+type StudyConfig = experiments.Config
+
+// StudyResult holds the study's per-matrix results in collection order
+// plus the matrices that failed to evaluate.
+type StudyResult = experiments.StudyResult
+
+// MatrixError records one matrix whose evaluation failed (its name, the
+// ordering involved if the failure was ordering-specific, and the cause).
+type MatrixError = experiments.MatrixError
+
+// RunStudy evaluates the full synthetic collection concurrently with
+// fault isolation: a matrix that fails — by error, panic, or timeout — is
+// recorded in StudyResult.Failures instead of aborting the run, and
+// results are deterministic for any worker count.
+func RunStudy(cfg StudyConfig) (*StudyResult, error) { return experiments.RunStudy(cfg) }
+
+// RunStudyContext is RunStudy with cancellation: cancelling the context
+// stops the study and returns the context's error.
+func RunStudyContext(ctx context.Context, cfg StudyConfig) (*StudyResult, error) {
+	return experiments.RunStudyContext(ctx, cfg)
+}
+
+// RunStudyMatrices runs the study pipeline over an explicit matrix list
+// (e.g. matrices read from Matrix Market files) instead of the generated
+// collection, with the same concurrency and failure semantics.
+func RunStudyMatrices(ctx context.Context, cfg StudyConfig, ms []CollectionMatrix) (*StudyResult, error) {
+	return experiments.RunStudyMatrices(ctx, cfg, ms)
+}
