@@ -4,7 +4,7 @@
 // Usage:
 //
 //	reorder -alg RCM|AMD|ND|GP|HP|Gray [-parts N] [-seed N]
-//	        [-perm out.perm.mtx] [-o out.mtx] input.mtx
+//	        [-reorder-workers N] [-perm out.perm.mtx] [-o out.mtx] input.mtx
 //
 // The reordered matrix is written to -o (default: stdout) and the
 // permutation, in 1-based Matrix Market integer-vector form, to -perm if
@@ -28,6 +28,7 @@ func main() {
 	alg := flag.String("alg", "RCM", "reordering algorithm: RCM, AMD, ND, GP, HP or Gray")
 	parts := flag.Int("parts", 128, "number of parts for GP and HP")
 	seed := flag.Int64("seed", 0, "seed for the randomized partitioners")
+	workers := flag.Int("reorder-workers", 0, "workers for the reordering pipeline (0 = GOMAXPROCS, 1 = serial); any value gives identical output")
 	permPath := flag.String("perm", "", "write the permutation to this file")
 	outPath := flag.String("o", "", "write the reordered matrix to this file (default stdout)")
 	flag.Parse()
@@ -46,11 +47,14 @@ func main() {
 	}
 
 	start := time.Now()
-	b, p, err := reorder.Apply(reorder.Algorithm(*alg), a, reorder.Options{Parts: *parts, Seed: *seed})
+	b, p, phases, err := reorder.ApplyTimed(reorder.Algorithm(*alg), a,
+		reorder.Options{Parts: *parts, Seed: *seed, Workers: *workers})
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("%s on %dx%d (%d nnz) took %v", *alg, a.Rows, a.Cols, a.NNZ(), time.Since(start).Round(time.Millisecond))
+	log.Printf("%s on %dx%d (%d nnz) took %v (graph %.3fs, order %.3fs, permute %.3fs)",
+		*alg, a.Rows, a.Cols, a.NNZ(), time.Since(start).Round(time.Millisecond),
+		phases.GraphSeconds, phases.OrderSeconds, phases.PermuteSeconds)
 
 	out := os.Stdout
 	if *outPath != "" {

@@ -3,14 +3,21 @@
 //
 // Usage:
 //
-//	study [-exp all|fig1|fig2|fig3|fig4|fig5|fig6|table3|table4|table5|densecsr|artifact]
+//	study [-exp all|fig1|fig2|fig3|fig4|fig5|fig6|table3|table4|table5|densecsr|benchreorder|artifact]
 //	      [-scale test|study|large] [-seed N] [-out DIR] [-v]
-//	      [-workers N] [-timeout D]
+//	      [-workers N] [-reorder-workers N] [-timeout D]
 //
 // Matrices are evaluated concurrently by -workers workers (default
-// GOMAXPROCS); output is identical for any worker count. A matrix whose
-// evaluation fails or exceeds -timeout is reported as a warning and
-// skipped instead of aborting the study.
+// GOMAXPROCS); within each matrix, the reordering pipeline (graph
+// construction, RCM, permutation application, features) uses
+// -reorder-workers goroutines (default 1, 0 = GOMAXPROCS). Output is
+// byte-identical for any worker counts. A matrix whose evaluation fails
+// or exceeds -timeout is reported as a warning and skipped instead of
+// aborting the study.
+//
+// -exp benchreorder measures the reordering hot path serial vs parallel
+// and prints the BENCH_reorder.json document (also written to -out DIR
+// when given).
 //
 // Results are printed to stdout; with -out, artifact-format data files
 // (one per machine and kernel, as in the paper's Zenodo artifact) are also
@@ -25,6 +32,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -43,6 +51,7 @@ func main() {
 	verbose := flag.Bool("v", false, "log per-matrix progress to stderr")
 	repeats := flag.Int("repeats", 10, "host SpMV timing repetitions (best run is kept)")
 	workers := flag.Int("workers", 0, "concurrent matrix evaluations (0 = GOMAXPROCS)")
+	reorderWorkers := flag.Int("reorder-workers", 1, "workers for the per-matrix reordering pipeline (0 = GOMAXPROCS, 1 = serial); any value gives identical results")
 	timeout := flag.Duration("timeout", 0, "per-matrix evaluation timeout, e.g. 90s (0 = none)")
 	flag.Parse()
 
@@ -57,12 +66,17 @@ func main() {
 	default:
 		log.Fatalf("unknown scale %q", *scaleName)
 	}
+	rw := *reorderWorkers
+	if rw == 0 {
+		rw = runtime.GOMAXPROCS(0)
+	}
 	cfg := experiments.Config{
-		Scale:   scale,
-		Seed:    *seed,
-		Repeats: *repeats,
-		Workers: *workers,
-		Timeout: *timeout,
+		Scale:          scale,
+		Seed:           *seed,
+		Repeats:        *repeats,
+		Workers:        *workers,
+		ReorderWorkers: rw,
+		Timeout:        *timeout,
 	}
 	if *verbose {
 		cfg.Logf = func(format string, args ...any) { log.Printf(format, args...) }
@@ -75,7 +89,7 @@ func main() {
 	want := func(name string) bool { return *exp == "all" || *exp == name }
 
 	// Experiments that need the full study run.
-	needStudy := *exp == "all" || *out != ""
+	needStudy := *exp == "all" || (*out != "" && *exp != "benchreorder")
 	for _, name := range []string{"fig2", "fig3", "fig5", "fig6", "table3", "table4", "artifact", "findings"} {
 		if *exp == name {
 			needStudy = true
@@ -138,11 +152,38 @@ func main() {
 	if want("densecsr") {
 		fmt.Println(experiments.RenderDenseCSRRef(cfg))
 	}
+	// benchreorder is explicit-only: it measures wall clock on fixed-size
+	// inputs and would slow "all" runs without adding to the tables.
+	if *exp == "benchreorder" {
+		counts := []int{1, 2, 4}
+		if g := runtime.GOMAXPROCS(0); g != 1 && g != 2 && g != 4 {
+			counts = append(counts, g)
+		}
+		bench, err := experiments.RunReorderBench(
+			experiments.ReorderBenchMatrices(*seed), counts, *repeats)
+		if err != nil {
+			log.Fatal(err)
+		}
+		text, err := experiments.RenderReorderBench(bench)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(text)
+		if *out != "" {
+			if err := os.MkdirAll(*out, 0o755); err != nil {
+				log.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(*out, "BENCH_reorder.json"), []byte(text), 0o644); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("wrote %s", filepath.Join(*out, "BENCH_reorder.json"))
+		}
+	}
 	if want("findings") {
 		emit(experiments.RenderFindings(s))
 	}
 
-	if *out != "" || *exp == "artifact" {
+	if s != nil && (*out != "" || *exp == "artifact") {
 		dir := *out
 		if dir == "" {
 			dir = "artifact"

@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"time"
+
+	"sparseorder/internal/gen"
+	"sparseorder/internal/graph"
+	"sparseorder/internal/metrics"
+	"sparseorder/internal/reorder"
+	"sparseorder/internal/sparse"
+)
+
+// ReorderBench is the serial-vs-parallel wall-clock comparison of the
+// reordering hot path, the document committed as BENCH_reorder.json. It
+// backs the Table 5 reordering-time breakdown: the per-path speedups show
+// how much of a reordering's cost the Workers option recovers.
+type ReorderBench struct {
+	// HostCPUs and GoMaxProcs record the hardware the numbers were taken
+	// on; speedups at worker counts beyond HostCPUs can only come from the
+	// leaner parallel code paths, not from concurrency.
+	HostCPUs   int                  `json:"host_cpus"`
+	GoMaxProcs int                  `json:"gomaxprocs"`
+	Repeats    int                  `json:"repeats"` // best-of wall clock, like the paper
+	Matrices   []ReorderBenchMatrix `json:"matrices"`
+}
+
+// ReorderBenchMatrix is the measurement set for one generated matrix.
+type ReorderBenchMatrix struct {
+	Name string            `json:"name"`
+	Rows int               `json:"rows"`
+	NNZ  int               `json:"nnz"`
+	Runs []ReorderBenchRun `json:"runs"`
+}
+
+// ReorderBenchRun is one (path, worker count) wall-clock measurement.
+// Speedup is the serial (workers=1) time of the same path divided by this
+// run's time.
+type ReorderBenchRun struct {
+	Path    string  `json:"path"` // graph, permute, features, rcm, combined
+	Workers int     `json:"workers"`
+	Seconds float64 `json:"seconds"`
+	Speedup float64 `json:"speedup"`
+}
+
+// reorderBenchPaths are the measured slices of the hot path. "combined"
+// is the permute+symmetrize+features pipeline the study pays once per
+// (matrix, ordering).
+var reorderBenchPaths = []string{"graph", "permute", "features", "rcm", "combined"}
+
+// ReorderBenchMatrices returns the generated inputs for RunReorderBench:
+// a scrambled 3D grid (structurally symmetric) and a dense-row-contaminated
+// unsymmetric matrix that exercises the A+Aᵀ union path. Both carry ≥1M
+// nonzeros, the scale the acceptance numbers are quoted at.
+func ReorderBenchMatrices(seed int64) []gen.Matrix {
+	return []gen.Matrix{
+		{Name: "grid3d_perm_large", Group: "structural", Kind: "fem-3d-scrambled",
+			A: gen.Scramble(gen.Grid3D(56, 56, 56), seed+1)},
+		{Name: "cfd_dense_unsym", Group: "CFD", Kind: "dense-rows",
+			A: gen.WithDenseRows(gen.Scramble(gen.Grid2D(420, 420), seed+2), 12, 0.1, seed+3)},
+	}
+}
+
+// RunReorderBench measures the reordering hot path serial vs parallel.
+// workerCounts must start with 1 (the serial baseline); each path is run
+// repeats times per worker count and the best time is kept. The RCM
+// permutation is computed once per matrix and reused as the permutation
+// under test, so "permute" measures a realistic (locality-changing)
+// application.
+func RunReorderBench(matrices []gen.Matrix, workerCounts []int, repeats int) (*ReorderBench, error) {
+	if len(workerCounts) == 0 || workerCounts[0] != 1 {
+		return nil, fmt.Errorf("experiments: worker counts must start with the serial baseline 1, got %v", workerCounts)
+	}
+	if repeats < 1 {
+		repeats = 1
+	}
+	out := &ReorderBench{
+		HostCPUs:   runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Repeats:    repeats,
+	}
+	for _, m := range matrices {
+		a := m.A
+		g, err := graph.FromMatrixSymmetrized(a)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %v", m.Name, err)
+		}
+		p := reorder.ReverseCuthillMcKee(g)
+		bm := ReorderBenchMatrix{Name: m.Name, Rows: a.Rows, NNZ: a.NNZ()}
+		serial := map[string]float64{}
+		for _, w := range workerCounts {
+			for _, path := range reorderBenchPaths {
+				var run func() error
+				switch path {
+				case "graph":
+					run = func() error { _, err := graph.FromMatrixSymmetrizedWorkers(a, w); return err }
+				case "permute":
+					run = func() error { _, err := sparse.PermuteSymmetricWorkers(a, p, w); return err }
+				case "features":
+					run = func() error { metrics.ComputeWorkers(a, 128, 128, w); return nil }
+				case "rcm":
+					run = func() error { reorder.ReverseCuthillMcKeeWorkers(g, reorder.PseudoPeripheralStart, w); return nil }
+				case "combined":
+					run = func() error {
+						b, err := sparse.PermuteSymmetricWorkers(a, p, w)
+						if err != nil {
+							return err
+						}
+						if _, err := graph.FromMatrixSymmetrizedWorkers(b, w); err != nil {
+							return err
+						}
+						metrics.ComputeWorkers(b, 128, 128, w)
+						return nil
+					}
+				}
+				best := 0.0
+				for it := 0; it < repeats; it++ {
+					start := time.Now()
+					if err := run(); err != nil {
+						return nil, fmt.Errorf("experiments: %s/%s workers=%d: %v", m.Name, path, w, err)
+					}
+					if el := time.Since(start).Seconds(); best == 0 || el < best {
+						best = el
+					}
+				}
+				r := ReorderBenchRun{Path: path, Workers: w, Seconds: best}
+				if w == 1 {
+					serial[path] = best
+					r.Speedup = 1
+				} else if best > 0 {
+					r.Speedup = serial[path] / best
+				}
+				bm.Runs = append(bm.Runs, r)
+			}
+		}
+		out.Matrices = append(out.Matrices, bm)
+	}
+	return out, nil
+}
+
+// RenderReorderBench formats a ReorderBench as the indented JSON document
+// committed as BENCH_reorder.json.
+func RenderReorderBench(b *ReorderBench) (string, error) {
+	buf, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(buf) + "\n", nil
+}

@@ -305,8 +305,12 @@ func RenderFig6(s *StudyResult) string {
 type Table5Row struct {
 	Name           string
 	ReorderSeconds map[reorder.Algorithm]float64
-	SpMVSeconds    float64 // one host 1D SpMV iteration (best of Repeats)
-	BreakEven      map[reorder.Algorithm]float64
+	// ReorderPhases is the per-phase breakdown of ReorderSeconds (graph
+	// construction, ordering, permutation application) at the configured
+	// ReorderWorkers.
+	ReorderPhases map[reorder.Algorithm]reorder.PhaseTimings
+	SpMVSeconds   float64 // one host 1D SpMV iteration (best of Repeats)
+	BreakEven     map[reorder.Algorithm]float64
 }
 
 // RunTable5 reproduces Table 5: reordering wall-clock time for the ten
@@ -327,6 +331,7 @@ func RunTable5(cfg Config) ([]Table5Row, error) {
 		row := Table5Row{
 			Name:           m.Name,
 			ReorderSeconds: r.ReorderSeconds,
+			ReorderPhases:  r.ReorderPhases,
 			BreakEven:      map[reorder.Algorithm]float64{},
 		}
 		// Host wall-clock for one 1D SpMV iteration: best of Repeats runs.
@@ -378,6 +383,28 @@ func RenderTable5(cfg Config) (string, error) {
 			fmt.Fprintf(&b, " %9.3f", row.ReorderSeconds[alg])
 		}
 		fmt.Fprintf(&b, " %10.6f\n", row.SpMVSeconds)
+	}
+	fmt.Fprintf(&b, "\nReordering-time breakdown (graph build / ordering / permute seconds, reorder workers=%d;\nsee BENCH_reorder.json for the serial-vs-parallel comparison)\n", cfg.ReorderWorkers)
+	fmt.Fprintf(&b, "%-18s %-8s", "matrix", "phase")
+	for _, alg := range cfg.Orderings {
+		fmt.Fprintf(&b, " %9s", alg)
+	}
+	fmt.Fprintln(&b)
+	for _, row := range rows {
+		for _, phase := range []struct {
+			name string
+			get  func(reorder.PhaseTimings) float64
+		}{
+			{"graph", func(t reorder.PhaseTimings) float64 { return t.GraphSeconds }},
+			{"order", func(t reorder.PhaseTimings) float64 { return t.OrderSeconds }},
+			{"permute", func(t reorder.PhaseTimings) float64 { return t.PermuteSeconds }},
+		} {
+			fmt.Fprintf(&b, "%-18s %-8s", row.Name, phase.name)
+			for _, alg := range cfg.Orderings {
+				fmt.Fprintf(&b, " %9.3f", phase.get(row.ReorderPhases[alg]))
+			}
+			fmt.Fprintln(&b)
+		}
 	}
 	fmt.Fprintf(&b, "\nBreak-even SpMV iterations (model speedup on Ice Lake, §4.7; '-' = no speedup)\n")
 	fmt.Fprintf(&b, "%-18s", "matrix")

@@ -35,6 +35,13 @@ type Config struct {
 	// Default runtime.GOMAXPROCS(0). Results are deterministic and land
 	// in collection order regardless of the worker count.
 	Workers int
+	// ReorderWorkers is the worker count handed to the parallel reordering
+	// paths (reorder.Options.Workers) and the parallel feature computation
+	// for each matrix. The default 0 means 1 (the serial path): matrices
+	// already run concurrently under Workers, so per-matrix parallelism is
+	// opt-in to avoid oversubscription. Any value produces byte-identical
+	// permutations, matrices and features.
+	ReorderWorkers int
 	// Timeout bounds each matrix's evaluation; 0 means no limit. The
 	// check is cooperative (between orderings and machine models), so a
 	// single very slow ordering can overshoot it. A timed-out matrix is
@@ -60,6 +67,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Workers == 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.ReorderWorkers == 0 {
+		c.ReorderWorkers = 1
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
@@ -98,6 +108,12 @@ type MatrixResult struct {
 	// ReorderSeconds[ordering] is the wall-clock cost of computing the
 	// ordering on the host.
 	ReorderSeconds map[reorder.Algorithm]float64
+
+	// ReorderPhases[ordering] splits ReorderSeconds into graph
+	// construction, ordering and permutation application — the Table 5
+	// reordering-time breakdown. For GP the graph/order phases accumulate
+	// over the distinct per-machine part counts.
+	ReorderPhases map[reorder.Algorithm]reorder.PhaseTimings
 
 	// FillRatio[ordering] is nnz(L)/nnz(A); only set for SPD matrices and
 	// symmetric orderings.
@@ -150,6 +166,7 @@ func EvaluateMatrixContext(ctx context.Context, m gen.Matrix, cfg Config) (*Matr
 		Perf:           map[string]map[machine.Kernel]map[reorder.Algorithm]Measurement{},
 		Features:       map[reorder.Algorithm]metrics.Features{},
 		ReorderSeconds: map[reorder.Algorithm]float64{},
+		ReorderPhases:  map[reorder.Algorithm]reorder.PhaseTimings{},
 		FillRatio:      map[reorder.Algorithm]float64{},
 	}
 	for _, mc := range cfg.Machines {
@@ -193,7 +210,7 @@ func EvaluateMatrixContext(ctx context.Context, m gen.Matrix, cfg Config) (*Matr
 
 	// Original ordering first.
 	evalOrdering(reorder.Original, m.A, cfg.Machines)
-	res.Features[reorder.Original] = metrics.Compute(m.A, featureBlocks, featureBlocks)
+	res.Features[reorder.Original] = metrics.ComputeWorkers(m.A, featureBlocks, featureBlocks, cfg.ReorderWorkers)
 	if m.SPD {
 		if fr, err := fillOf(m.A); err == nil {
 			res.FillRatio[reorder.Original] = fr
@@ -207,51 +224,60 @@ func EvaluateMatrixContext(ctx context.Context, m gen.Matrix, cfg Config) (*Matr
 		switch alg {
 		case reorder.GP:
 			// One GP ordering per distinct machine core count.
-			var total float64
+			var phases reorder.PhaseTimings
 			for _, mc := range cfg.Machines {
 				if err := ctx.Err(); err != nil {
 					return nil, &MatrixError{Name: m.Name, Ordering: alg, Err: err}
 				}
 				p, ok := gpParts[mc.Cores]
 				if !ok {
-					start := time.Now()
+					var ph reorder.PhaseTimings
 					var err error
-					p, err = reorder.Compute(reorder.GP, m.A, reorder.Options{Seed: cfg.Seed, Parts: mc.Cores})
+					p, ph, err = reorder.ComputeTimed(reorder.GP, m.A,
+						reorder.Options{Seed: cfg.Seed, Parts: mc.Cores, Workers: cfg.ReorderWorkers})
 					if err != nil {
 						return nil, &MatrixError{Name: m.Name, Ordering: alg, Err: err}
 					}
-					total += time.Since(start).Seconds()
+					phases.GraphSeconds += ph.GraphSeconds
+					phases.OrderSeconds += ph.OrderSeconds
 					gpParts[mc.Cores] = p
 				}
-				b, err := sparse.PermuteSymmetric(m.A, p)
+				b, err := sparse.PermuteSymmetricWorkers(m.A, p, cfg.ReorderWorkers)
 				if err != nil {
 					return nil, &MatrixError{Name: m.Name, Ordering: alg, Err: err}
 				}
 				evalOrdering(alg, b, []machine.Machine{mc})
 			}
-			res.ReorderSeconds[alg] = total
+			// ReorderSeconds keeps its historical meaning for GP: the cost
+			// of computing the orderings, excluding the per-machine
+			// permutation applications.
+			res.ReorderSeconds[alg] = phases.GraphSeconds + phases.OrderSeconds
 			// Features and fill use the 128-part GP ordering (or the largest
 			// evaluated) to match the HP feature blocks.
 			p := gpParts[largestCores(cfg.Machines)]
-			b, err := sparse.PermuteSymmetric(m.A, p)
+			start := time.Now()
+			b, err := sparse.PermuteSymmetricWorkers(m.A, p, cfg.ReorderWorkers)
 			if err != nil {
 				return nil, &MatrixError{Name: m.Name, Ordering: alg, Err: err}
 			}
-			res.Features[alg] = metrics.Compute(b, featureBlocks, featureBlocks)
+			phases.PermuteSeconds = time.Since(start).Seconds()
+			res.ReorderPhases[alg] = phases
+			res.Features[alg] = metrics.ComputeWorkers(b, featureBlocks, featureBlocks, cfg.ReorderWorkers)
 			if m.SPD {
 				if fr, err := fillOf(b); err == nil {
 					res.FillRatio[alg] = fr
 				}
 			}
 		default:
-			start := time.Now()
-			b, _, err := reorder.Apply(alg, m.A, reorder.Options{Seed: cfg.Seed})
+			b, _, ph, err := reorder.ApplyTimed(alg, m.A,
+				reorder.Options{Seed: cfg.Seed, Workers: cfg.ReorderWorkers})
 			if err != nil {
 				return nil, &MatrixError{Name: m.Name, Ordering: alg, Err: err}
 			}
-			res.ReorderSeconds[alg] = time.Since(start).Seconds()
+			res.ReorderSeconds[alg] = ph.Total()
+			res.ReorderPhases[alg] = ph
 			evalOrdering(alg, b, cfg.Machines)
-			res.Features[alg] = metrics.Compute(b, featureBlocks, featureBlocks)
+			res.Features[alg] = metrics.ComputeWorkers(b, featureBlocks, featureBlocks, cfg.ReorderWorkers)
 			if m.SPD && alg.Symmetric() {
 				if fr, err := fillOf(b); err == nil {
 					res.FillRatio[alg] = fr

@@ -27,16 +27,23 @@ func (g *Graph) NumEdges() int { return len(g.Adj) / 2 }
 // Degree returns the number of neighbours of vertex v.
 func (g *Graph) Degree(v int) int { return g.Ptr[v+1] - g.Ptr[v] }
 
-// MaxDegree returns the largest vertex degree.
+// MaxDegree returns the largest vertex degree. Graphs built by
+// FromMatrix, FromMatrixSymmetrized (and their Workers variants) and
+// InducedSubgraph carry the value precomputed; for hand-assembled Graph
+// values the scan result is returned without being cached. Either way
+// MaxDegree never mutates the graph, so concurrent callers sharing one
+// graph — as the component-parallel Cuthill-McKee does — are safe.
 func (g *Graph) MaxDegree() int {
-	if g.degMax == 0 && g.N > 0 {
-		for v := 0; v < g.N; v++ {
-			if d := g.Degree(v); d > g.degMax {
-				g.degMax = d
-			}
+	if g.degMax > 0 {
+		return g.degMax
+	}
+	m := 0
+	for v := 0; v < g.N; v++ {
+		if d := g.Degree(v); d > m {
+			m = d
 		}
 	}
-	return g.degMax
+	return m
 }
 
 // Neighbors returns the adjacency list of v. The slice aliases graph
@@ -119,6 +126,9 @@ func FromMatrix(a *sparse.CSR) (*Graph, error) {
 			}
 		}
 		g.Ptr[i+1] = g.Ptr[i] + n
+		if n > g.degMax {
+			g.degMax = n
+		}
 	}
 	g.Adj = make([]int32, g.Ptr[a.Rows])
 	pos := 0
@@ -279,6 +289,9 @@ func InducedSubgraph(g *Graph, verts []int32) (*Graph, []int32) {
 			}
 		}
 		sub.Ptr[i+1] = len(adj)
+		if d := sub.Ptr[i+1] - sub.Ptr[i]; d > sub.degMax {
+			sub.degMax = d
+		}
 	}
 	sub.Adj = adj
 	if g.EWgt != nil {

@@ -4,6 +4,7 @@
 package metrics
 
 import (
+	"sparseorder/internal/par"
 	"sparseorder/internal/sparse"
 	"sparseorder/internal/spmv"
 )
@@ -29,18 +30,34 @@ func Bandwidth(a *sparse.CSR) int {
 // Profile returns the sum over rows of the distance from the leftmost
 // nonzero to the diagonal, Σ_i (i - min{j : a_ij ≠ 0}), counting only rows
 // whose leftmost nonzero lies left of the diagonal, per Gibbs et al.
+// The leftmost nonzero is found by scanning the whole row rather than
+// reading ColIdx[RowPtr[i]]: externally built CSRs can carry unsorted rows
+// (that is what sparse.CSR.SortRows exists to repair), and the first
+// stored entry of such a row need not be its minimum column.
 func Profile(a *sparse.CSR) int64 {
 	var p int64
 	for i := 0; i < a.Rows; i++ {
-		if a.RowPtr[i] == a.RowPtr[i+1] {
-			continue
-		}
-		first := int(a.ColIdx[a.RowPtr[i]])
-		if first < i {
-			p += int64(i - first)
-		}
+		p += profileRow(a, i)
 	}
 	return p
+}
+
+// profileRow returns row i's contribution to the profile.
+func profileRow(a *sparse.CSR, i int) int64 {
+	lo, hi := a.RowPtr[i], a.RowPtr[i+1]
+	if lo == hi {
+		return 0
+	}
+	first := int(a.ColIdx[lo])
+	for k := lo + 1; k < hi; k++ {
+		if c := int(a.ColIdx[k]); c < first {
+			first = c
+		}
+	}
+	if first < i {
+		return int64(i - first)
+	}
+	return 0
 }
 
 // OffDiagonalNNZ counts nonzeros outside the blocks×blocks block diagonal:
@@ -109,6 +126,64 @@ func Compute(a *sparse.CSR, blocks, threads int) Features {
 		OffDiagNNZ:  OffDiagonalNNZ(a, blocks),
 		Imbalance1D: Imbalance1D(a, threads),
 	}
+}
+
+// ComputeWorkers is Compute with the row loops run concurrently: the
+// bandwidth/profile/off-diagonal passes are fused into one loop split
+// across row ranges with per-chunk partial results, and the imbalance
+// factor is computed alongside. Workers follow the shared convention
+// (0 = GOMAXPROCS, 1 = the exact serial code path). All reductions are
+// integer max/sum in chunk order, so the result is identical to Compute
+// at every worker count.
+func ComputeWorkers(a *sparse.CSR, blocks, threads, workers int) Features {
+	w := par.Resolve(workers)
+	if w == 1 {
+		return Compute(a, blocks, threads)
+	}
+	var f Features
+	type partial struct {
+		bw      int
+		profile int64
+		offdiag int64
+	}
+	parts := make([]partial, par.Chunks(a.Rows, w))
+	par.Do(w,
+		func() { f.Imbalance1D = Imbalance1D(a, threads) },
+		func() {
+			doOff := blocks > 1 && a.Rows > 0 && a.Cols > 0
+			par.Ranges(a.Rows, w, func(chunk, lo, hi int) {
+				var pt partial
+				for i := lo; i < hi; i++ {
+					bi := 0
+					if doOff {
+						bi = i * blocks / a.Rows
+					}
+					for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+						j := int(a.ColIdx[k])
+						d := i - j
+						if d < 0 {
+							d = -d
+						}
+						if d > pt.bw {
+							pt.bw = d
+						}
+						if doOff && j*blocks/a.Cols != bi {
+							pt.offdiag++
+						}
+					}
+					pt.profile += profileRow(a, i)
+				}
+				parts[chunk] = pt
+			})
+		})
+	for _, pt := range parts {
+		if pt.bw > f.Bandwidth {
+			f.Bandwidth = pt.bw
+		}
+		f.Profile += pt.profile
+		f.OffDiagNNZ += pt.offdiag
+	}
+	return f
 }
 
 // RowNNZStats returns the minimum, maximum and mean nonzeros per row.

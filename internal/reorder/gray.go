@@ -18,8 +18,11 @@ import (
 func GrayOrder(a *sparse.CSR, opts Options) sparse.Perm {
 	opts = opts.withDefaults()
 	bits := opts.GrayBitmapBits
-	if bits > 62 {
-		bits = 62
+	// rowBitmap and grayRank are correct for the full uint64 width, so the
+	// clamp sits at 64: configured widths up to 64 are honoured exactly
+	// (a clamp at 62 would silently change the ordering for 63 and 64).
+	if bits > 64 {
+		bits = 64
 	}
 	var dense, spr []int32
 	for i := 0; i < a.Rows; i++ {

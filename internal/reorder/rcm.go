@@ -2,8 +2,10 @@ package reorder
 
 import (
 	"sort"
+	"sync"
 
 	"sparseorder/internal/graph"
+	"sparseorder/internal/par"
 	"sparseorder/internal/sparse"
 )
 
@@ -40,41 +42,115 @@ func CuthillMcKeeWithStart(g *graph.Graph, strategy StartStrategy) sparse.Perm {
 		if visited[s] {
 			continue
 		}
-		start := s
-		if strategy == PseudoPeripheralStart {
-			start, _ = graph.PseudoPeripheral(g, s, scratch)
-		} else {
-			// Minimum-degree vertex of the component containing s.
-			r := graph.BFS(g, s, scratch)
-			for _, v := range r.Order {
-				if g.Degree(int(v)) < g.Degree(start) {
-					start = int(v)
-				}
+		perm = cmComponent(g, s, strategy, perm, visited, scratch, neigh)
+	}
+	return perm
+}
+
+// cmComponent appends the Cuthill-McKee ordering of the component whose
+// smallest-index vertex is s to perm. It touches visited only at the
+// component's own vertices, so concurrent calls on distinct components
+// sharing one visited slice are safe; scratch (length g.N) and neigh are
+// per-caller scratch space.
+func cmComponent(g *graph.Graph, s int, strategy StartStrategy, perm sparse.Perm, visited []bool, scratch, neigh []int32) sparse.Perm {
+	start := s
+	if strategy == PseudoPeripheralStart {
+		start, _ = graph.PseudoPeripheral(g, s, scratch)
+	} else {
+		// Minimum-degree vertex of the component containing s.
+		r := graph.BFS(g, s, scratch)
+		for _, v := range r.Order {
+			if g.Degree(int(v)) < g.Degree(start) {
+				start = int(v)
 			}
 		}
-		compStart := len(perm)
-		perm = append(perm, start)
-		visited[start] = true
-		for head := compStart; head < len(perm); head++ {
-			v := perm[head]
-			neigh = neigh[:0]
-			for _, u := range g.Neighbors(v) {
-				if !visited[u] {
-					visited[u] = true
-					neigh = append(neigh, u)
-				}
-			}
-			sort.Slice(neigh, func(i, j int) bool {
-				di, dj := g.Degree(int(neigh[i])), g.Degree(int(neigh[j]))
-				if di != dj {
-					return di < dj
-				}
-				return neigh[i] < neigh[j]
-			})
-			for _, u := range neigh {
-				perm = append(perm, int(u))
+	}
+	compStart := len(perm)
+	perm = append(perm, start)
+	visited[start] = true
+	for head := compStart; head < len(perm); head++ {
+		v := perm[head]
+		neigh = neigh[:0]
+		for _, u := range g.Neighbors(v) {
+			if !visited[u] {
+				visited[u] = true
+				neigh = append(neigh, u)
 			}
 		}
+		sort.Slice(neigh, func(i, j int) bool {
+			di, dj := g.Degree(int(neigh[i])), g.Degree(int(neigh[j]))
+			if di != dj {
+				return di < dj
+			}
+			return neigh[i] < neigh[j]
+		})
+		for _, u := range neigh {
+			perm = append(perm, int(u))
+		}
+	}
+	return perm
+}
+
+// CuthillMcKeeWorkers computes the Cuthill-McKee ordering with connected
+// components ordered concurrently. Components are independent, and the
+// per-component orderings are concatenated in ascending order of each
+// component's smallest vertex — exactly the order the serial loop
+// discovers them — so the permutation is byte-identical to
+// CuthillMcKeeWithStart at every worker count (0 = GOMAXPROCS, 1 = the
+// exact serial code path).
+func CuthillMcKeeWorkers(g *graph.Graph, strategy StartStrategy, workers int) sparse.Perm {
+	w := par.Resolve(workers)
+	if w == 1 {
+		return CuthillMcKeeWithStart(g, strategy)
+	}
+	if g.N == 0 {
+		return sparse.Perm{}
+	}
+	// Order the component of vertex 0 inline first — for a connected graph
+	// (the common case) this is the entire ordering at exactly the serial
+	// cost, with no component scan, channel or goroutine overhead.
+	visited := make([]bool, g.N)
+	first := cmComponent(g, 0, strategy, make(sparse.Perm, 0, g.N), visited,
+		make([]int32, g.N), make([]int32, 0, g.MaxDegree()))
+	if len(first) == g.N {
+		return first
+	}
+	// Remaining components run on the pool. Components lists them in
+	// ascending order of their smallest vertex — the order the serial loop
+	// discovers them — with the already-ordered component of vertex 0
+	// first.
+	allComps, _ := graph.Components(g)
+	comps := allComps[1:]
+	// visited is shared: each component writes only its own vertices, so
+	// the goroutines touch disjoint index sets. scratch and neigh are per
+	// worker; BFS level arrays must be g.N long.
+	parts := make([]sparse.Perm, len(comps))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	if w > len(comps) {
+		w = len(comps)
+	}
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			scratch := make([]int32, g.N)
+			neigh := make([]int32, 0, g.MaxDegree())
+			for ci := range jobs {
+				comp := comps[ci]
+				part := make(sparse.Perm, 0, len(comp))
+				parts[ci] = cmComponent(g, int(comp[0]), strategy, part, visited, scratch, neigh)
+			}
+		}()
+	}
+	for ci := range comps {
+		jobs <- ci
+	}
+	close(jobs)
+	wg.Wait()
+	perm := first
+	for _, part := range parts {
+		perm = append(perm, part...)
 	}
 	return perm
 }
@@ -89,6 +165,16 @@ func ReverseCuthillMcKee(g *graph.Graph) sparse.Perm {
 // root-selection strategy.
 func ReverseCuthillMcKeeWithStart(g *graph.Graph, strategy StartStrategy) sparse.Perm {
 	p := CuthillMcKeeWithStart(g, strategy)
+	for i, j := 0, len(p)-1; i < j; i, j = i+1, j-1 {
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// ReverseCuthillMcKeeWorkers is ReverseCuthillMcKee with connected
+// components ordered concurrently by CuthillMcKeeWorkers.
+func ReverseCuthillMcKeeWorkers(g *graph.Graph, strategy StartStrategy, workers int) sparse.Perm {
+	p := CuthillMcKeeWorkers(g, strategy, workers)
 	for i, j := 0, len(p)-1; i < j; i, j = i+1, j-1 {
 		p[i], p[j] = p[j], p[i]
 	}

@@ -7,6 +7,7 @@ package reorder
 
 import (
 	"fmt"
+	"time"
 
 	"sparseorder/internal/graph"
 	"sparseorder/internal/sparse"
@@ -51,7 +52,8 @@ type Options struct {
 	// paper's 20.
 	GrayDenseThreshold int
 	// GrayBitmapBits is the number of sections per row bitmap; 0 defaults
-	// to the paper's 16.
+	// to the paper's 16. The bitmap is a uint64, so at most 64 sections
+	// are representable: values above 64 are clamped to 64.
 	GrayBitmapBits int
 	// NDSmall stops nested-dissection recursion below this many vertices,
 	// falling back to minimum-degree ordering; 0 defaults to 128.
@@ -60,6 +62,13 @@ type Options struct {
 	// paper's configuration is the cut-net metric (default); PaToH's other
 	// metric, connectivity-1, is available as well (§3.3).
 	HPObjective HPObjective
+	// Workers bounds the goroutines of the parallel reordering hot path:
+	// A+Aᵀ adjacency construction, component-parallel Cuthill-McKee, and
+	// the permutation application in Apply. 0 means GOMAXPROCS, 1 runs
+	// the exact serial code path. Permutations and reordered matrices are
+	// byte-identical at every worker count (see DESIGN.md, "Parallel
+	// reordering determinism contract").
+	Workers int
 }
 
 // HPObjective names a hypergraph partitioning objective.
@@ -87,48 +96,94 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// NeedsGraph reports whether the algorithm operates on the undirected
+// adjacency graph of A+Aᵀ (RCM, AMD, ND and GP) rather than on the matrix
+// directly (Original, HP and Gray).
+func (a Algorithm) NeedsGraph() bool {
+	return a == RCM || a == AMD || a == ND || a == GP
+}
+
+// PhaseTimings breaks the wall-clock cost of computing and applying one
+// ordering into its phases, the breakdown behind the paper's Table 5
+// reordering-cost discussion (§4.7).
+type PhaseTimings struct {
+	// GraphSeconds is the A+Aᵀ adjacency construction time; zero for the
+	// algorithms that do not use the graph (Original, HP, Gray).
+	GraphSeconds float64
+	// OrderSeconds is the ordering algorithm proper.
+	OrderSeconds float64
+	// PermuteSeconds is the time applying the permutation to the matrix;
+	// zero when only the permutation was computed.
+	PermuteSeconds float64
+}
+
+// Total returns the summed phase times.
+func (t PhaseTimings) Total() float64 {
+	return t.GraphSeconds + t.OrderSeconds + t.PermuteSeconds
+}
+
 // Compute returns the permutation (new-to-old) of the given algorithm for
 // the square matrix a. RCM, AMD, ND and GP operate on the undirected graph
 // of A+Aᵀ when the pattern of a is unsymmetric; HP and Gray apply to a
 // directly.
 func Compute(alg Algorithm, a *sparse.CSR, opts Options) (sparse.Perm, error) {
+	p, _, err := ComputeTimed(alg, a, opts)
+	return p, err
+}
+
+// ComputeTimed is Compute reporting the graph-construction and ordering
+// phase times (PermuteSeconds stays zero).
+func ComputeTimed(alg Algorithm, a *sparse.CSR, opts Options) (sparse.Perm, PhaseTimings, error) {
+	var t PhaseTimings
 	if a.Rows != a.Cols {
-		return nil, fmt.Errorf("reorder: matrix must be square, got %dx%d", a.Rows, a.Cols)
+		return nil, t, fmt.Errorf("reorder: matrix must be square, got %dx%d", a.Rows, a.Cols)
 	}
 	opts = opts.withDefaults()
+	if alg.NeedsGraph() {
+		start := time.Now()
+		g, err := graph.FromMatrixSymmetrizedWorkers(a, opts.Workers)
+		if err != nil {
+			return nil, t, err
+		}
+		t.GraphSeconds = time.Since(start).Seconds()
+		start = time.Now()
+		p, err := orderGraph(alg, g, opts)
+		t.OrderSeconds = time.Since(start).Seconds()
+		return p, t, err
+	}
+	start := time.Now()
+	var p sparse.Perm
+	var err error
 	switch alg {
 	case Original:
-		return sparse.Identity(a.Rows), nil
+		p = sparse.Identity(a.Rows)
+	case HP:
+		p, err = HypergraphPartitionOrder(a, opts)
+	case Gray:
+		p = GrayOrder(a, opts)
+	default:
+		return nil, t, fmt.Errorf("reorder: unknown algorithm %q", alg)
+	}
+	t.OrderSeconds = time.Since(start).Seconds()
+	if err != nil {
+		return nil, t, err
+	}
+	return p, t, nil
+}
+
+// orderGraph runs a graph-based ordering on a prebuilt adjacency graph.
+func orderGraph(alg Algorithm, g *graph.Graph, opts Options) (sparse.Perm, error) {
+	switch alg {
 	case RCM:
-		g, err := graph.FromMatrixSymmetrized(a)
-		if err != nil {
-			return nil, err
-		}
-		return ReverseCuthillMcKee(g), nil
+		return ReverseCuthillMcKeeWorkers(g, PseudoPeripheralStart, opts.Workers), nil
 	case AMD:
-		g, err := graph.FromMatrixSymmetrized(a)
-		if err != nil {
-			return nil, err
-		}
 		return ApproxMinimumDegree(g), nil
 	case ND:
-		g, err := graph.FromMatrixSymmetrized(a)
-		if err != nil {
-			return nil, err
-		}
 		return NestedDissection(g, opts), nil
 	case GP:
-		g, err := graph.FromMatrixSymmetrized(a)
-		if err != nil {
-			return nil, err
-		}
 		return GraphPartitionOrder(g, opts)
-	case HP:
-		return HypergraphPartitionOrder(a, opts)
-	case Gray:
-		return GrayOrder(a, opts), nil
 	default:
-		return nil, fmt.Errorf("reorder: unknown algorithm %q", alg)
+		return nil, fmt.Errorf("reorder: algorithm %q does not order a graph", alg)
 	}
 }
 
@@ -136,18 +191,27 @@ func Compute(alg Algorithm, a *sparse.CSR, opts Options) (sparse.Perm, error) {
 // with the permutation. Symmetric orderings permute rows and columns;
 // Gray permutes rows only, as in the paper.
 func Apply(alg Algorithm, a *sparse.CSR, opts Options) (*sparse.CSR, sparse.Perm, error) {
-	p, err := Compute(alg, a, opts)
+	b, p, _, err := ApplyTimed(alg, a, opts)
+	return b, p, err
+}
+
+// ApplyTimed is Apply reporting the per-phase wall-clock breakdown
+// (graph construction, ordering, permutation application).
+func ApplyTimed(alg Algorithm, a *sparse.CSR, opts Options) (*sparse.CSR, sparse.Perm, PhaseTimings, error) {
+	p, t, err := ComputeTimed(alg, a, opts)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, t, err
 	}
+	start := time.Now()
 	var b *sparse.CSR
 	if alg.Symmetric() {
-		b, err = sparse.PermuteSymmetric(a, p)
+		b, err = sparse.PermuteSymmetricWorkers(a, p, opts.Workers)
 	} else {
-		b, err = sparse.PermuteRows(a, p)
+		b, err = sparse.PermuteRowsWorkers(a, p, opts.Workers)
 	}
+	t.PermuteSeconds = time.Since(start).Seconds()
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, t, err
 	}
-	return b, p, nil
+	return b, p, t, nil
 }
