@@ -6,6 +6,7 @@
 //	study [-exp all|fig1|fig2|fig3|fig4|fig5|fig6|table3|table4|table5|densecsr|benchreorder|artifact]
 //	      [-scale test|study|large] [-seed N] [-out DIR] [-v]
 //	      [-workers N] [-reorder-workers N] [-timeout D]
+//	      [-checkpoint FILE] [-resume] [-retries N]
 //
 // Matrices are evaluated concurrently by -workers workers (default
 // GOMAXPROCS); within each matrix, the reordering pipeline (graph
@@ -13,7 +14,14 @@
 // -reorder-workers goroutines (default 1, 0 = GOMAXPROCS). Output is
 // byte-identical for any worker counts. A matrix whose evaluation fails
 // or exceeds -timeout is reported as a warning and skipped instead of
-// aborting the study.
+// aborting the study; -retries re-attempts timeouts and panics with a
+// doubling backoff.
+//
+// With -checkpoint, every completed matrix is appended to FILE as a
+// fsynced JSONL record; -resume reloads FILE (it must have been written
+// by an identical configuration) and skips the matrices it records, so a
+// killed run continues where it stopped and produces byte-identical
+// results. All artifact files are written atomically (temp file + rename).
 //
 // -exp benchreorder measures the reordering hot path serial vs parallel
 // and prints the BENCH_reorder.json document (also written to -out DIR
@@ -21,11 +29,17 @@
 //
 // Results are printed to stdout; with -out, artifact-format data files
 // (one per machine and kernel, as in the paper's Zenodo artifact) are also
-// written to DIR.
+// written to DIR, together with failures.txt summarising any failed
+// matrices.
+//
+// Exit codes: 0 success; 1 fatal error; 2 the study completed but some
+// matrices failed; 3 the run was aborted (interrupt).
 package main
 
 import (
+	"bytes"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -37,13 +51,27 @@ import (
 	"time"
 
 	"sparseorder/internal/experiments"
+	"sparseorder/internal/fsutil"
 	"sparseorder/internal/gen"
 	"sparseorder/internal/machine"
+)
+
+// Exit codes; distinct values let scripts tell partial results from an
+// aborted run.
+const (
+	exitOK         = 0
+	exitFatal      = 1
+	exitSomeFailed = 2
+	exitAborted    = 3
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("study: ")
+	os.Exit(run())
+}
+
+func run() int {
 	exp := flag.String("exp", "all", "experiment to run: all, fig1..fig6, table3..table5, densecsr, findings, artifact")
 	scaleName := flag.String("scale", "test", "collection scale: test, study or large")
 	seed := flag.Int64("seed", 42, "collection seed")
@@ -53,6 +81,9 @@ func main() {
 	workers := flag.Int("workers", 0, "concurrent matrix evaluations (0 = GOMAXPROCS)")
 	reorderWorkers := flag.Int("reorder-workers", 1, "workers for the per-matrix reordering pipeline (0 = GOMAXPROCS, 1 = serial); any value gives identical results")
 	timeout := flag.Duration("timeout", 0, "per-matrix evaluation timeout, e.g. 90s (0 = none)")
+	checkpoint := flag.String("checkpoint", "", "journal file recording each completed matrix for crash-safe resume")
+	resume := flag.Bool("resume", false, "resume from the -checkpoint journal, skipping matrices it records")
+	retries := flag.Int("retries", 0, "additional attempts for matrices failing by timeout or panic")
 	flag.Parse()
 
 	var scale gen.Scale
@@ -64,7 +95,8 @@ func main() {
 	case "large":
 		scale = gen.ScaleLarge
 	default:
-		log.Fatalf("unknown scale %q", *scaleName)
+		log.Printf("unknown scale %q", *scaleName)
+		return exitFatal
 	}
 	rw := *reorderWorkers
 	if rw == 0 {
@@ -77,9 +109,24 @@ func main() {
 		Workers:        *workers,
 		ReorderWorkers: rw,
 		Timeout:        *timeout,
+		Retries:        *retries,
 	}
 	if *verbose {
 		cfg.Logf = func(format string, args ...any) { log.Printf(format, args...) }
+	}
+
+	if *resume && *checkpoint == "" {
+		log.Print("-resume requires -checkpoint")
+		return exitFatal
+	}
+	if *checkpoint != "" {
+		j, err := openJournal(*checkpoint, *resume, cfg)
+		if err != nil {
+			log.Print(err)
+			return exitFatal
+		}
+		defer j.Close()
+		cfg.Journal = j
 	}
 
 	// Ctrl-C cancels the study; workers stop at their next checkpoint.
@@ -100,14 +147,20 @@ func main() {
 		start := time.Now()
 		var err error
 		s, err = experiments.RunStudyContext(ctx, cfg)
+		if errors.Is(err, context.Canceled) {
+			log.Print("run aborted; completed matrices are in the checkpoint journal (use -resume to continue)")
+			return exitAborted
+		}
 		if err != nil {
-			log.Fatal(err)
+			log.Print(err)
+			return exitFatal
 		}
 		for i := range s.Failures {
 			log.Printf("warning: matrix failed: %v", &s.Failures[i])
 		}
 		if len(s.Matrices) == 0 {
-			log.Fatalf("no matrix evaluated successfully (%d failures)", len(s.Failures))
+			log.Printf("no matrix evaluated successfully (%d failures)", len(s.Failures))
+			return exitFatal
 		}
 		if *verbose {
 			log.Printf("study: %d matrices, %d failures in %v",
@@ -115,9 +168,12 @@ func main() {
 		}
 	}
 
+	code := exitOK
 	emit := func(text string, err error) {
 		if err != nil {
-			log.Fatal(err)
+			log.Print(err)
+			code = exitFatal
+			return
 		}
 		fmt.Println(text)
 	}
@@ -152,6 +208,9 @@ func main() {
 	if want("densecsr") {
 		fmt.Println(experiments.RenderDenseCSRRef(cfg))
 	}
+	if code != exitOK {
+		return code
+	}
 	// benchreorder is explicit-only: it measures wall clock on fixed-size
 	// inputs and would slow "all" runs without adding to the tables.
 	if *exp == "benchreorder" {
@@ -162,25 +221,33 @@ func main() {
 		bench, err := experiments.RunReorderBench(
 			experiments.ReorderBenchMatrices(*seed), counts, *repeats)
 		if err != nil {
-			log.Fatal(err)
+			log.Print(err)
+			return exitFatal
 		}
 		text, err := experiments.RenderReorderBench(bench)
 		if err != nil {
-			log.Fatal(err)
+			log.Print(err)
+			return exitFatal
 		}
 		fmt.Print(text)
 		if *out != "" {
 			if err := os.MkdirAll(*out, 0o755); err != nil {
-				log.Fatal(err)
+				log.Print(err)
+				return exitFatal
 			}
-			if err := os.WriteFile(filepath.Join(*out, "BENCH_reorder.json"), []byte(text), 0o644); err != nil {
-				log.Fatal(err)
+			path := filepath.Join(*out, "BENCH_reorder.json")
+			if err := fsutil.WriteFileAtomic(path, []byte(text), 0o644); err != nil {
+				log.Print(err)
+				return exitFatal
 			}
-			log.Printf("wrote %s", filepath.Join(*out, "BENCH_reorder.json"))
+			log.Printf("wrote %s", path)
 		}
 	}
 	if want("findings") {
 		emit(experiments.RenderFindings(s))
+	}
+	if code != exitOK {
+		return code
 	}
 
 	if s != nil && (*out != "" || *exp == "artifact") {
@@ -188,54 +255,92 @@ func main() {
 		if dir == "" {
 			dir = "artifact"
 		}
-		if err := os.MkdirAll(dir, 0o755); err != nil {
-			log.Fatal(err)
-		}
-		for _, mc := range machine.Table2 {
-			for _, k := range []machine.Kernel{machine.Kernel1D, machine.Kernel2D} {
-				name := fmt.Sprintf("csr%s_%s.txt", strings.ToLower(k.String()),
-					strings.ReplaceAll(strings.ToLower(mc.Name), " ", ""))
-				f, err := os.Create(filepath.Join(dir, name))
-				if err != nil {
-					log.Fatal(err)
-				}
-				if err := experiments.WriteArtifactFile(f, s, mc.Name, k); err != nil {
-					log.Fatal(err)
-				}
-				if err := f.Close(); err != nil {
-					log.Fatal(err)
-				}
-			}
-		}
-		// Gnuplot pipeline for Figures 2 and 3, as in the paper's artifact.
-		for _, k := range []machine.Kernel{machine.Kernel1D, machine.Kernel2D} {
-			fig := "fig2"
-			if k == machine.Kernel2D {
-				fig = "fig3"
-			}
-			datName := fig + "_speedups.dat"
-			df, err := os.Create(filepath.Join(dir, datName))
-			if err != nil {
-				log.Fatal(err)
-			}
-			if err := experiments.WriteSpeedupDat(df, s, k); err != nil {
-				log.Fatal(err)
-			}
-			if err := df.Close(); err != nil {
-				log.Fatal(err)
-			}
-			gf, err := os.Create(filepath.Join(dir, fig+".gp"))
-			if err != nil {
-				log.Fatal(err)
-			}
-			title := "Speedup of " + k.String() + " SpMV after reordering"
-			if err := experiments.WriteSpeedupGnuplot(gf, datName, fig+".png", title); err != nil {
-				log.Fatal(err)
-			}
-			if err := gf.Close(); err != nil {
-				log.Fatal(err)
-			}
+		if err := writeArtifacts(dir, s); err != nil {
+			log.Print(err)
+			return exitFatal
 		}
 		log.Printf("wrote artifact files to %s", dir)
 	}
+
+	if s != nil && len(s.Failures) > 0 {
+		fmt.Fprintf(os.Stderr, "study: %d of %d matrices failed:\n",
+			len(s.Failures), len(s.Failures)+len(s.Matrices))
+		for i := range s.Failures {
+			f := &s.Failures[i]
+			msg := f.Error()
+			if nl := strings.IndexByte(msg, '\n'); nl >= 0 {
+				msg = msg[:nl] // stacks go to failures.txt, not the summary
+			}
+			fmt.Fprintf(os.Stderr, "  %s (class %s, %d attempts): %s\n",
+				f.Name, f.Class, f.Attempts, msg)
+		}
+		return exitSomeFailed
+	}
+	return code
+}
+
+// openJournal creates or (with resume) reloads the checkpoint journal.
+// Resuming with no journal on disk starts a fresh one, so the same command
+// line works for the first run and every restart.
+func openJournal(path string, resume bool, cfg experiments.Config) (*experiments.Journal, error) {
+	if resume {
+		if _, err := os.Stat(path); err == nil {
+			return experiments.LoadJournal(path, cfg)
+		} else if !errors.Is(err, os.ErrNotExist) {
+			return nil, err
+		}
+	}
+	return experiments.CreateJournal(path, cfg)
+}
+
+// writeArtifacts renders every artifact file atomically: readers (and
+// interrupted runs) see either the complete previous file or the complete
+// new one, never a torn write.
+func writeArtifacts(dir string, s *experiments.StudyResult) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	write := func(name string, render func(*bytes.Buffer) error) error {
+		var buf bytes.Buffer
+		if err := render(&buf); err != nil {
+			return err
+		}
+		return fsutil.WriteFileAtomic(filepath.Join(dir, name), buf.Bytes(), 0o644)
+	}
+	for _, mc := range machine.Table2 {
+		for _, k := range []machine.Kernel{machine.Kernel1D, machine.Kernel2D} {
+			name := fmt.Sprintf("csr%s_%s.txt", strings.ToLower(k.String()),
+				strings.ReplaceAll(strings.ToLower(mc.Name), " ", ""))
+			mcName, kk := mc.Name, k
+			if err := write(name, func(buf *bytes.Buffer) error {
+				return experiments.WriteArtifactFile(buf, s, mcName, kk)
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	// Gnuplot pipeline for Figures 2 and 3, as in the paper's artifact.
+	for _, k := range []machine.Kernel{machine.Kernel1D, machine.Kernel2D} {
+		fig := "fig2"
+		if k == machine.Kernel2D {
+			fig = "fig3"
+		}
+		datName := fig + "_speedups.dat"
+		kk := k
+		if err := write(datName, func(buf *bytes.Buffer) error {
+			return experiments.WriteSpeedupDat(buf, s, kk)
+		}); err != nil {
+			return err
+		}
+		title := "Speedup of " + k.String() + " SpMV after reordering"
+		figName, dat := fig, datName
+		if err := write(fig+".gp", func(buf *bytes.Buffer) error {
+			return experiments.WriteSpeedupGnuplot(buf, dat, figName+".png", title)
+		}); err != nil {
+			return err
+		}
+	}
+	return write("failures.txt", func(buf *bytes.Buffer) error {
+		return experiments.WriteFailureReport(buf, s.Failures)
+	})
 }

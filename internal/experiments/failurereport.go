@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteFailureReport renders the study's failures as the failures.txt
+// artifact: one block per failed matrix with its class, attempt count and
+// full error (including the recovered stack for panics). An empty failure
+// list writes a single "no failures" line so the artifact always exists
+// and is self-describing.
+func WriteFailureReport(w io.Writer, failures []MatrixError) error {
+	if len(failures) == 0 {
+		_, err := fmt.Fprintln(w, "no failures")
+		return err
+	}
+	for i, f := range failures {
+		if i > 0 {
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		ord := string(f.Ordering)
+		if ord == "" {
+			ord = "-"
+		}
+		if _, err := fmt.Fprintf(w, "matrix: %s\nordering: %s\nclass: %s\nattempts: %d\nerror: %s\n",
+			f.Name, ord, f.Class, f.Attempts, indentTail(f.Err.Error())); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// indentTail indents continuation lines of a multi-line message (panic
+// stacks) so each failure block stays visually delimited.
+func indentTail(s string) string {
+	return strings.ReplaceAll(strings.TrimRight(s, "\n"), "\n", "\n  ")
+}

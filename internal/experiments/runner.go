@@ -6,11 +6,57 @@ import (
 	"fmt"
 	"runtime/debug"
 	"sync"
+	"time"
 
 	"sparseorder/internal/gen"
 	"sparseorder/internal/machine"
 	"sparseorder/internal/reorder"
 )
+
+// FailureClass categorises why a matrix evaluation failed; it drives the
+// retry policy and the failure report.
+type FailureClass string
+
+// The failure classes. Timeouts and panics are considered transient (a
+// retry under less memory pressure or scheduler noise can succeed);
+// cancellation means the whole run is stopping and is never retried or
+// journaled; everything else is a deterministic evaluation error that a
+// retry would only repeat.
+const (
+	FailError    FailureClass = "error"
+	FailTimeout  FailureClass = "timeout"
+	FailCanceled FailureClass = "canceled"
+	FailPanic    FailureClass = "panic"
+)
+
+// Retryable reports whether a bounded retry may be attempted for this
+// class of failure.
+func (c FailureClass) Retryable() bool { return c == FailTimeout || c == FailPanic }
+
+// Classify maps an evaluation error to its failure class.
+func Classify(err error) FailureClass {
+	var pe *PanicError
+	switch {
+	case errors.As(err, &pe):
+		return FailPanic
+	case errors.Is(err, context.DeadlineExceeded):
+		return FailTimeout
+	case errors.Is(err, context.Canceled):
+		return FailCanceled
+	default:
+		return FailError
+	}
+}
+
+// PanicError is a recovered evaluation panic with its stack, preserved as
+// a typed error so Classify can distinguish panics from ordinary errors.
+type PanicError struct {
+	Value string
+	Stack string
+}
+
+// Error keeps the historical "panic: value\nstack" format.
+func (e *PanicError) Error() string { return "panic: " + e.Value + "\n" + e.Stack }
 
 // MatrixError records the failure of one matrix's evaluation. Ordering is
 // the algorithm whose computation or application failed when the failure
@@ -20,6 +66,11 @@ type MatrixError struct {
 	Name     string
 	Ordering reorder.Algorithm
 	Err      error
+	// Class is the failure class Classify assigned to Err.
+	Class FailureClass
+	// Attempts is how many evaluation attempts were made (≥1); values
+	// above one mean retries were exhausted without success.
+	Attempts int
 }
 
 // Error formats the failure as "name: ordering: cause".
@@ -74,12 +125,34 @@ func runStudy(ctx context.Context, cfg Config, coll []gen.Matrix, eval evalFunc)
 	results := make([]*MatrixResult, len(coll))
 	failures := make([]*MatrixError, len(coll))
 
+	// Resume: matrices already journaled are pre-filled at their collection
+	// index and never re-scheduled, so a resumed run assembles the exact
+	// StudyResult an uninterrupted run would have produced.
+	pending := make([]int, 0, len(coll))
+	for i, m := range coll {
+		if cfg.Journal != nil {
+			if r, f, ok := cfg.Journal.Lookup(m.Name); ok {
+				if r != nil {
+					results[i] = r
+				} else {
+					failures[i] = f
+				}
+				continue
+			}
+		}
+		pending = append(pending, i)
+	}
+	if skipped := len(coll) - len(pending); skipped > 0 {
+		cfg.Logf("resuming: %d/%d matrices already journaled, %d to run",
+			skipped, len(coll), len(pending))
+	}
+
 	workers := cfg.Workers
 	if workers < 1 {
 		workers = 1
 	}
-	if workers > len(coll) {
-		workers = len(coll)
+	if workers > len(pending) {
+		workers = len(pending)
 	}
 
 	var (
@@ -100,19 +173,39 @@ func runStudy(ctx context.Context, cfg Config, coll []gen.Matrix, eval evalFunc)
 			defer wg.Done()
 			for idx := range jobs {
 				m := coll[idx]
-				r, err := evaluateIsolated(ctx, m, cfg, eval, logf)
+				r, attempts, err := evaluateWithRetry(ctx, m, cfg, eval, logf)
+
+				var me *MatrixError
+				if err != nil {
+					me = asMatrixError(m.Name, err, attempts)
+				}
+				// Journal the outcome before announcing it, so a crash after
+				// the log line can never lose an announced matrix. Cancelled
+				// matrices are deliberately not journaled: they were merely
+				// in flight when the run stopped and must re-run on resume.
+				if cfg.Journal != nil {
+					var jerr error
+					if me == nil {
+						jerr = cfg.Journal.RecordResult(r)
+					} else if me.Class != FailCanceled {
+						jerr = cfg.Journal.RecordFailure(me)
+					}
+					if jerr != nil {
+						logf("journal write for %s failed (resume may redo it): %v", m.Name, jerr)
+					}
+				}
 
 				mu.Lock()
 				completed++
-				if err != nil {
-					failures[idx] = asMatrixError(m.Name, err)
+				if me != nil {
+					failures[idx] = me
 					failed++
-					cfg.Logf("[%d/%d] %s FAILED (%d failed so far): %v",
-						completed, len(coll), m.Name, failed, err)
+					cfg.Logf("[%d/%d] %s FAILED (%s, attempt %d, %d failed so far): %v",
+						completed, len(pending), m.Name, me.Class, me.Attempts, failed, err)
 				} else {
 					results[idx] = r
 					cfg.Logf("[%d/%d] %s done (%d failed so far)",
-						completed, len(coll), m.Name, failed)
+						completed, len(pending), m.Name, failed)
 				}
 				mu.Unlock()
 			}
@@ -120,7 +213,7 @@ func runStudy(ctx context.Context, cfg Config, coll []gen.Matrix, eval evalFunc)
 	}
 
 feed:
-	for i := range coll {
+	for _, i := range pending {
 		select {
 		case jobs <- i:
 		case <-ctx.Done():
@@ -145,6 +238,33 @@ feed:
 	return out, nil
 }
 
+// evaluateWithRetry drives evaluateIsolated under the bounded-retry
+// policy: retryable failures (timeout, panic) are re-attempted up to
+// cfg.Retries additional times with a doubling backoff, while
+// deterministic errors and run cancellation fail immediately. It returns
+// the attempt count alongside the final outcome.
+func evaluateWithRetry(ctx context.Context, m gen.Matrix, cfg Config, eval evalFunc, logf func(string, ...any)) (*MatrixResult, int, error) {
+	backoff := cfg.RetryBackoff
+	for attempt := 1; ; attempt++ {
+		r, err := evaluateIsolated(ctx, m, cfg, eval, logf)
+		if err == nil {
+			return r, attempt, nil
+		}
+		class := Classify(err)
+		if !class.Retryable() || attempt > cfg.Retries {
+			return nil, attempt, err
+		}
+		logf("%s attempt %d failed (%s), retrying in %v", m.Name, attempt, class, backoff)
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			// The run is stopping; report the original failure unchanged.
+			return nil, attempt, err
+		}
+		backoff *= 2
+	}
+}
+
 // evaluateIsolated runs one matrix's evaluation with the per-matrix
 // timeout applied and any panic converted into an error, so a
 // pathological matrix cannot kill its worker (a panic escaping a
@@ -155,7 +275,7 @@ func evaluateIsolated(ctx context.Context, m gen.Matrix, cfg Config, eval evalFu
 	defer func() {
 		if r := recover(); r != nil {
 			res = nil
-			err = fmt.Errorf("panic: %v\n%s", r, debug.Stack())
+			err = &PanicError{Value: fmt.Sprint(r), Stack: string(debug.Stack())}
 		}
 	}()
 	logf("evaluating %s (%d rows, %d nnz)", m.Name, m.A.Rows, m.A.NNZ())
@@ -167,11 +287,14 @@ func evaluateIsolated(ctx context.Context, m gen.Matrix, cfg Config, eval evalFu
 	return eval(ctx, m, cfg)
 }
 
-// asMatrixError normalises any evaluation error to a MatrixError record.
-func asMatrixError(name string, err error) *MatrixError {
+// asMatrixError normalises any evaluation error to a classified
+// MatrixError record carrying the attempt count.
+func asMatrixError(name string, err error, attempts int) *MatrixError {
 	var me *MatrixError
-	if errors.As(err, &me) {
-		return me
+	if !errors.As(err, &me) {
+		me = &MatrixError{Name: name, Err: err}
 	}
-	return &MatrixError{Name: name, Err: err}
+	me.Class = Classify(err)
+	me.Attempts = attempts
+	return me
 }

@@ -43,10 +43,25 @@ type Config struct {
 	// permutations, matrices and features.
 	ReorderWorkers int
 	// Timeout bounds each matrix's evaluation; 0 means no limit. The
-	// check is cooperative (between orderings and machine models), so a
-	// single very slow ordering can overshoot it. A timed-out matrix is
-	// recorded in StudyResult.Failures; the study continues.
+	// deadline is threaded into the ordering algorithms themselves (BFS,
+	// elimination, coarsening and refinement loops all poll it), so even a
+	// single wedged ordering stops within a bounded amount of work of the
+	// deadline. A timed-out matrix is recorded in StudyResult.Failures;
+	// the study continues.
 	Timeout time.Duration
+	// Retries is the number of additional evaluation attempts for matrices
+	// failing with a retryable class (timeout, panic). 0 disables retry;
+	// deterministic errors and run cancellation are never retried.
+	Retries int
+	// RetryBackoff is the pause before the first retry, doubling on each
+	// subsequent attempt. Default 100ms.
+	RetryBackoff time.Duration
+	// Journal, when set, receives every completed matrix (result or
+	// terminal failure) as a durable record, and matrices it already holds
+	// are skipped and their recorded outcomes reused — the checkpoint /
+	// resume mechanism. The journal must have been created or loaded with
+	// this same Config (LoadJournal enforces the binding).
+	Journal *Journal
 	// Logf receives per-matrix progress if set. RunStudy serialises calls
 	// to it, so it need not be safe for concurrent use itself.
 	Logf func(format string, args ...any)
@@ -70,6 +85,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ReorderWorkers == 0 {
 		c.ReorderWorkers = 1
+	}
+	if c.RetryBackoff == 0 {
+		c.RetryBackoff = 100 * time.Millisecond
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
@@ -151,9 +169,10 @@ func EvaluateMatrix(m gen.Matrix, cfg Config) (*MatrixResult, error) {
 }
 
 // EvaluateMatrixContext is EvaluateMatrix with cooperative cancellation:
-// the context is checked between orderings and machine models, so a
-// cancelled or timed-out evaluation returns promptly without finishing
-// the remaining orderings. Failures are reported as *MatrixError.
+// the context is checked between orderings and machine models and is
+// threaded into each ordering algorithm's inner loops, so a cancelled or
+// timed-out evaluation returns promptly even when a single ordering is
+// wedged. Failures are reported as *MatrixError.
 func EvaluateMatrixContext(ctx context.Context, m gen.Matrix, cfg Config) (*MatrixResult, error) {
 	cfg = cfg.withDefaults()
 	res := &MatrixResult{
@@ -233,7 +252,7 @@ func EvaluateMatrixContext(ctx context.Context, m gen.Matrix, cfg Config) (*Matr
 				if !ok {
 					var ph reorder.PhaseTimings
 					var err error
-					p, ph, err = reorder.ComputeTimed(reorder.GP, m.A,
+					p, ph, err = reorder.ComputeTimedCtx(ctx, reorder.GP, m.A,
 						reorder.Options{Seed: cfg.Seed, Parts: mc.Cores, Workers: cfg.ReorderWorkers})
 					if err != nil {
 						return nil, &MatrixError{Name: m.Name, Ordering: alg, Err: err}
@@ -269,7 +288,7 @@ func EvaluateMatrixContext(ctx context.Context, m gen.Matrix, cfg Config) (*Matr
 				}
 			}
 		default:
-			b, _, ph, err := reorder.ApplyTimed(alg, m.A,
+			b, _, ph, err := reorder.ApplyTimedCtx(ctx, alg, m.A,
 				reorder.Options{Seed: cfg.Seed, Workers: cfg.ReorderWorkers})
 			if err != nil {
 				return nil, &MatrixError{Name: m.Name, Ordering: alg, Err: err}

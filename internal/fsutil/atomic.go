@@ -1,0 +1,61 @@
+// Package fsutil provides crash-safe filesystem helpers shared by the
+// study runner and the command-line tools.
+package fsutil
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic writes data to path so that readers never observe a
+// partial file: the bytes go to a temporary file in the same directory,
+// are fsynced, and the temp file is renamed over path. After a crash the
+// path holds either the previous content or the new content in full,
+// never a torn mix. The containing directory is fsynced best-effort so
+// the rename itself survives a crash on filesystems that require it.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	defer func() {
+		if tmpName != "" {
+			os.Remove(tmpName)
+		}
+	}()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return err
+	}
+	tmpName = "" // renamed away; nothing to clean up
+	syncDir(dir)
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-completed rename is durable. Errors
+// are ignored: some platforms and filesystems reject fsync on directories,
+// and the rename is still atomic without it.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}

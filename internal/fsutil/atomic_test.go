@@ -1,0 +1,68 @@
+package fsutil
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestWriteFileAtomic covers the helper's contract: content and mode land
+// on disk, an existing file is replaced in full, and no temp files are
+// left behind.
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+
+	if err := WriteFileAtomic(path, []byte("first"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("first")) {
+		t.Errorf("content = %q", got)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Mode().Perm() != 0o644 {
+		t.Errorf("mode = %v, want 0644", fi.Mode().Perm())
+	}
+
+	// Overwrite: readers must see either the old or the new content; after
+	// the call returns it is the new one, regardless of relative sizes.
+	if err := WriteFileAtomic(path, []byte("second, longer content"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	got, err = os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("second, longer content")) {
+		t.Errorf("content after overwrite = %q", got)
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "out.txt" {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Errorf("directory holds %v, want only out.txt (no temp litter)", names)
+	}
+}
+
+// TestWriteFileAtomicMissingDir checks the error path cleans up after
+// itself instead of panicking or leaving temp files.
+func TestWriteFileAtomicMissingDir(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "no-such-dir", "out.txt")
+	if err := WriteFileAtomic(path, []byte("x"), 0o644); err == nil {
+		t.Fatal("write into a missing directory succeeded")
+	}
+}

@@ -28,6 +28,19 @@ const (
 	ScaleLarge
 )
 
+// String names the scale with the vocabulary of cmd/study's -scale flag.
+func (s Scale) String() string {
+	switch s {
+	case ScaleTest:
+		return "test"
+	case ScaleStudy:
+		return "study"
+	case ScaleLarge:
+		return "large"
+	}
+	return fmt.Sprintf("Scale(%d)", int(s))
+}
+
 // Factor returns the linear size multiplier of the scale; generators scale
 // their dimensions by it.
 func (s Scale) Factor() int { return s.factor() }

@@ -7,6 +7,7 @@ package graph
 import (
 	"fmt"
 
+	"sparseorder/internal/par"
 	"sparseorder/internal/sparse"
 )
 
@@ -174,6 +175,21 @@ func (r *BFSResult) Depth() int { return len(r.Levels) - 1 }
 // root's connected component. The scratch slice, if non-nil, must have
 // length g.N and is used as the level array to avoid allocation.
 func BFS(g *Graph, root int, scratch []int32) *BFSResult {
+	return BFSCancel(g, root, scratch, nil)
+}
+
+// bfsCheckEvery is the number of frontier vertices expanded between
+// cancellation checks in BFSCancel: cancellation latency is bounded by
+// that many adjacency scans, while the per-vertex overhead stays one
+// counter increment.
+const bfsCheckEvery = 4096
+
+// BFSCancel is BFS with a cooperative cancellation hook: every
+// bfsCheckEvery expanded frontier vertices it polls done and, when the
+// channel is closed, returns the partial level structure built so far.
+// Callers observing cancellation must discard the result. A nil done
+// never cancels, making BFSCancel(g, root, scratch, nil) exactly BFS.
+func BFSCancel(g *Graph, root int, scratch []int32, done <-chan struct{}) *BFSResult {
 	level := scratch
 	if level == nil {
 		level = make([]int32, g.N)
@@ -186,6 +202,7 @@ func BFS(g *Graph, root int, scratch []int32) *BFSResult {
 	level[root] = 0
 	var levels [][]int32
 	head := 0
+	sinceCheck := 0
 	for head < len(order) {
 		levelStart := head
 		cur := level[order[head]]
@@ -195,6 +212,12 @@ func BFS(g *Graph, root int, scratch []int32) *BFSResult {
 		frontier := order[levelStart:head]
 		levels = append(levels, frontier)
 		for _, u := range frontier {
+			if sinceCheck++; sinceCheck >= bfsCheckEvery {
+				sinceCheck = 0
+				if par.Canceled(done) {
+					return &BFSResult{Root: root, Order: order, Level: level, Levels: levels}
+				}
+			}
 			for _, v := range g.Neighbors(int(u)) {
 				if level[v] < 0 {
 					level[v] = cur + 1
@@ -245,8 +268,19 @@ func Components(g *Graph) ([][]int32, []int32) {
 // eccentricity stops growing. It returns the vertex and its final level
 // structure.
 func PseudoPeripheral(g *Graph, start int, scratch []int32) (int, *BFSResult) {
-	r := BFS(g, start, scratch)
+	return PseudoPeripheralCancel(g, start, scratch, nil)
+}
+
+// PseudoPeripheralCancel is PseudoPeripheral with cooperative
+// cancellation: done is polled between (and, via BFSCancel, inside) the
+// BFS rounds. On cancellation the current candidate is returned; callers
+// observing cancellation must discard it.
+func PseudoPeripheralCancel(g *Graph, start int, scratch []int32, done <-chan struct{}) (int, *BFSResult) {
+	r := BFSCancel(g, start, scratch, done)
 	for {
+		if par.Canceled(done) {
+			return r.Root, r
+		}
 		last := r.Levels[len(r.Levels)-1]
 		next := int(last[0])
 		for _, v := range last {
@@ -254,7 +288,7 @@ func PseudoPeripheral(g *Graph, start int, scratch []int32) (int, *BFSResult) {
 				next = int(v)
 			}
 		}
-		rNext := BFS(g, next, scratch)
+		rNext := BFSCancel(g, next, scratch, done)
 		if rNext.Depth() <= r.Depth() {
 			return r.Root, r
 		}

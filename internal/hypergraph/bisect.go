@@ -1,6 +1,10 @@
 package hypergraph
 
-import "math/rand"
+import (
+	"math/rand"
+
+	"sparseorder/internal/par"
+)
 
 // Options control the hypergraph partitioner; zero values take defaults.
 type Options struct {
@@ -9,6 +13,13 @@ type Options struct {
 	CoarsenTo    int     // default 64
 	InitTrials   int     // default 4
 	RefinePasses int     // default 6
+	// Cancel, when non-nil, is polled at every bisection branch, coarsening
+	// level, initial trial and refinement pass; once closed the partitioner
+	// unwinds promptly. The assignment returned after a cancellation is
+	// incomplete and must be discarded — the context-aware entry points do
+	// so and surface the context's error instead. A nil channel never
+	// cancels, and an uncancelled run is byte-identical either way.
+	Cancel <-chan struct{}
 }
 
 func (o Options) withDefaults() Options {
@@ -35,7 +46,7 @@ func Bisect(h *Hypergraph, frac float64, opts Options, rng *rand.Rand) []uint8 {
 	if h.V == 0 {
 		return nil
 	}
-	levels := coarsen(h, opts.CoarsenTo, rng)
+	levels := coarsen(h, opts.CoarsenTo, rng, opts.Cancel)
 	coarsest := h
 	if len(levels) > 0 {
 		coarsest = levels[len(levels)-1].coarse
@@ -43,6 +54,9 @@ func Bisect(h *Hypergraph, frac float64, opts Options, rng *rand.Rand) []uint8 {
 	side := initialBisection(coarsest, frac, opts, rng)
 	fmRefine(coarsest, side, frac, opts)
 	for i := len(levels) - 1; i >= 0; i-- {
+		if par.Canceled(opts.Cancel) {
+			return make([]uint8, h.V)
+		}
 		lv := levels[i]
 		fineSide := make([]uint8, lv.fine.V)
 		for v := 0; v < lv.fine.V; v++ {
@@ -50,6 +64,11 @@ func Bisect(h *Hypergraph, frac float64, opts Options, rng *rand.Rand) []uint8 {
 		}
 		side = fineSide
 		fmRefine(lv.fine, side, frac, opts)
+	}
+	if len(side) != h.V {
+		// Cancelled before uncoarsening finished: return a well-formed (all
+		// zero) assignment; the caller discards it once it observes Cancel.
+		return make([]uint8, h.V)
 	}
 	return side
 }
@@ -63,6 +82,9 @@ func initialBisection(h *Hypergraph, frac float64, opts Options, rng *rand.Rand)
 	bestCut := -1
 	trial := make([]uint8, h.V)
 	for t := 0; t < opts.InitTrials; t++ {
+		if t > 0 && par.Canceled(opts.Cancel) {
+			break // keep the best trial so far; the caller bails out next check
+		}
 		for i := range trial {
 			trial[i] = 1
 		}
@@ -184,6 +206,9 @@ func fmRefine(h *Hypergraph, side []uint8, frac float64, opts Options) {
 		maxW[1] = 1
 	}
 	for pass := 0; pass < opts.RefinePasses; pass++ {
+		if par.Canceled(opts.Cancel) {
+			return
+		}
 		if !fmPass(h, side, maxW) {
 			break
 		}

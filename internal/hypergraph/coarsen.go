@@ -1,6 +1,10 @@
 package hypergraph
 
-import "math/rand"
+import (
+	"math/rand"
+
+	"sparseorder/internal/par"
+)
 
 // maxMatchNetSize bounds the net sizes considered during coarsening;
 // very large nets (dense columns) carry little clustering information and
@@ -142,11 +146,14 @@ type hlevel struct {
 }
 
 // coarsen builds the multilevel hierarchy until coarseTo vertices remain or
-// matching stagnates.
-func coarsen(h *Hypergraph, coarseTo int, rng *rand.Rand) []hlevel {
+// matching stagnates. done is polled once per level (nil never cancels).
+func coarsen(h *Hypergraph, coarseTo int, rng *rand.Rand, done <-chan struct{}) []hlevel {
 	var levels []hlevel
 	cur := h
 	for cur.V > coarseTo {
+		if par.Canceled(done) {
+			break // stop building levels; the caller unwinds at its next check
+		}
 		match, nCoarse := firstChoiceMatch(cur, rng)
 		if float64(nCoarse) > 0.95*float64(cur.V) {
 			break

@@ -1,8 +1,11 @@
 package hypergraph
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+
+	"sparseorder/internal/par"
 )
 
 // KWayConnectivity partitions the hypergraph into k parts by recursive
@@ -29,10 +32,31 @@ func KWayConnectivity(h *Hypergraph, k int, opts Options) ([]int32, int, error) 
 		verts[i] = int32(i)
 	}
 	recursiveConn(h, verts, 0, k, part, opts, rng)
+	if par.Canceled(opts.Cancel) {
+		return nil, 0, context.Canceled
+	}
 	return part, ConnectivityMinusOne(h, part, k), nil
 }
 
+// KWayConnectivityCtx is KWayConnectivity driven by a context, mirroring
+// KWayCtx: a cancelled or expired context aborts the partitioning promptly
+// with the context's error instead of returning a partial assignment.
+func KWayConnectivityCtx(ctx context.Context, h *Hypergraph, k int, opts Options) ([]int32, int, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
+	opts.Cancel = ctx.Done()
+	part, cut, err := KWayConnectivity(h, k, opts)
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
+	return part, cut, err
+}
+
 func recursiveConn(root *Hypergraph, verts []int32, firstPart, k int, part []int32, opts Options, rng *rand.Rand) {
+	if par.Canceled(opts.Cancel) {
+		return
+	}
 	if k == 1 || len(verts) == 0 {
 		for _, v := range verts {
 			part[v] = int32(firstPart)

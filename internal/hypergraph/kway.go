@@ -1,8 +1,11 @@
 package hypergraph
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+
+	"sparseorder/internal/par"
 )
 
 // KWay partitions the hypergraph into k parts by recursive bisection under
@@ -25,10 +28,33 @@ func KWay(h *Hypergraph, k int, opts Options) ([]int32, int, error) {
 		verts[i] = int32(i)
 	}
 	recursive(h, verts, 0, k, part, opts, rng)
+	if par.Canceled(opts.Cancel) {
+		return nil, 0, context.Canceled
+	}
 	return part, CutNet(h, part), nil
 }
 
+// KWayCtx is KWay driven by a context: the context's done channel is
+// threaded into every coarsening level, bisection trial and refinement pass
+// (via Options.Cancel), and a cancelled or expired context aborts the
+// partitioning promptly with the context's error instead of returning a
+// partial assignment.
+func KWayCtx(ctx context.Context, h *Hypergraph, k int, opts Options) ([]int32, int, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
+	opts.Cancel = ctx.Done()
+	part, cut, err := KWay(h, k, opts)
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
+	return part, cut, err
+}
+
 func recursive(root *Hypergraph, verts []int32, firstPart, k int, part []int32, opts Options, rng *rand.Rand) {
+	if par.Canceled(opts.Cancel) {
+		return
+	}
 	if k == 1 || len(verts) == 0 {
 		for _, v := range verts {
 			part[v] = int32(firstPart)

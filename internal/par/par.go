@@ -14,6 +14,24 @@ import (
 	"sync"
 )
 
+// Canceled reports whether the done channel is closed. A nil channel is
+// never closed, so uncancellable callers pass nil and pay only a branch.
+// It is the cooperative cancellation primitive of the reordering hot
+// paths: long loops call it periodically and bail out early, and the
+// context-aware entry points (reorder.ComputeCtx and friends) translate
+// the early exit into the context's error.
+func Canceled(done <-chan struct{}) bool {
+	if done == nil {
+		return false
+	}
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
+}
+
 // Resolve maps a Workers option to an effective worker count using the
 // package-wide convention: 0 means runtime.GOMAXPROCS(0), values below
 // zero mean 1 (serial), and positive values are used as given.

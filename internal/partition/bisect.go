@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"sparseorder/internal/graph"
+	"sparseorder/internal/par"
 )
 
 // Bisect splits g into two sides, with side 0 receiving roughly frac of
@@ -22,6 +23,9 @@ func Bisect(g *graph.Graph, frac float64, opts Options, rng *rand.Rand) []uint8 
 	side := initialBisection(coarsest, frac, opts, rng)
 	fmRefine(coarsest, side, frac, opts)
 	for i := len(levels) - 1; i >= 0; i-- {
+		if par.Canceled(opts.Cancel) {
+			return make([]uint8, g.N)
+		}
 		lv := levels[i]
 		fineSide := make([]uint8, lv.fine.N)
 		for v := 0; v < lv.fine.N; v++ {
@@ -29,6 +33,11 @@ func Bisect(g *graph.Graph, frac float64, opts Options, rng *rand.Rand) []uint8 
 		}
 		side = fineSide
 		fmRefine(lv.fine, side, frac, opts)
+	}
+	if len(side) != g.N {
+		// Cancelled before uncoarsening finished: return a well-formed (all
+		// zero) assignment; the caller discards it once it observes Cancel.
+		return make([]uint8, g.N)
 	}
 	return side
 }
@@ -42,6 +51,9 @@ func initialBisection(g *graph.Graph, frac float64, opts Options, rng *rand.Rand
 	bestCut := -1
 	trial := make([]uint8, g.N)
 	for t := 0; t < opts.InitTrials; t++ {
+		if t > 0 && par.Canceled(opts.Cancel) {
+			break // keep the best trial so far; the caller bails out next check
+		}
 		for i := range trial {
 			trial[i] = 1
 		}
@@ -129,6 +141,9 @@ func fmRefine(g *graph.Graph, side []uint8, frac float64, opts Options) {
 	gain := make([]int, g.N)
 	locked := make([]bool, g.N)
 	for pass := 0; pass < opts.RefinePasses; pass++ {
+		if par.Canceled(opts.Cancel) {
+			return
+		}
 		improved := fmPass(g, side, gain, locked, &w, max0, max1)
 		if !improved {
 			break

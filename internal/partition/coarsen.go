@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"sparseorder/internal/graph"
+	"sparseorder/internal/par"
 )
 
 // level holds one rung of the multilevel hierarchy: the coarse graph and
@@ -149,6 +150,9 @@ func coarsen(g *graph.Graph, opts Options, rng *rand.Rand) []level {
 	var levels []level
 	cur := g
 	for cur.N > opts.CoarsenTo {
+		if par.Canceled(opts.Cancel) {
+			break // stop building levels; the caller unwinds at its next check
+		}
 		match, nCoarse := matchVertices(cur, rng, opts.Matching)
 		if float64(nCoarse) > 0.95*float64(cur.N) {
 			break // matching stagnated (e.g. star graphs)

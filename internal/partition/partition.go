@@ -6,11 +6,13 @@
 package partition
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
 
 	"sparseorder/internal/graph"
+	"sparseorder/internal/par"
 )
 
 // Options control the partitioner. The zero value is usable; fields set to
@@ -40,6 +42,14 @@ type Options struct {
 	// (§4.7) that its reordering implementations are serial and sees
 	// parallelisation as an avenue for improvement; this is that avenue.
 	Parallel bool
+	// Cancel, when non-nil, is polled at every bisection branch, coarsening
+	// level, initial-bisection trial and refinement pass; once it is closed
+	// the partitioner unwinds promptly. The part assignment returned after
+	// a cancellation is incomplete and must be discarded — the context-
+	// aware entry points (KWayCtx, reorder.ComputeCtx) do so and surface
+	// the context's error instead. A nil channel never cancels, and an
+	// uncancelled run is byte-identical with or without the field set.
+	Cancel <-chan struct{}
 }
 
 // MatchingStrategy selects how vertices are matched during coarsening.
@@ -85,7 +95,27 @@ func KWay(g *graph.Graph, k int, opts Options) ([]int32, int, error) {
 		verts[i] = int32(i)
 	}
 	recursiveBisect(g, verts, 0, k, part, opts, opts.Seed)
+	if par.Canceled(opts.Cancel) {
+		return nil, 0, context.Canceled
+	}
 	return part, EdgeCut(g, part), nil
+}
+
+// KWayCtx is KWay driven by a context: the context's done channel is
+// threaded into every coarsening level, bisection trial and refinement
+// pass (via Options.Cancel), and a cancelled or expired context aborts
+// the partitioning promptly with the context's error instead of returning
+// a partial assignment.
+func KWayCtx(ctx context.Context, g *graph.Graph, k int, opts Options) ([]int32, int, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
+	opts.Cancel = ctx.Done()
+	part, cut, err := KWay(g, k, opts)
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
+	return part, cut, err
 }
 
 // recursiveBisect partitions the subgraph induced by verts into parts
@@ -94,6 +124,9 @@ func KWay(g *graph.Graph, k int, opts Options) ([]int32, int, error) {
 // produce identical partitions. The two sub-branches write to disjoint
 // entries of part, making the parallel recursion race-free.
 func recursiveBisect(g *graph.Graph, verts []int32, firstPart, k int, part []int32, opts Options, seed int64) {
+	if par.Canceled(opts.Cancel) {
+		return
+	}
 	if k == 1 {
 		for _, v := range verts {
 			part[v] = int32(firstPart)

@@ -2,8 +2,13 @@ package reorder
 
 import (
 	"sparseorder/internal/graph"
+	"sparseorder/internal/par"
 	"sparseorder/internal/sparse"
 )
+
+// amdCheckEvery is the number of eliminated pivots between cancellation
+// checks in the AMD main loop.
+const amdCheckEvery = 256
 
 // ApproxMinimumDegree computes an approximate-minimum-degree ordering of g
 // in the style of Amestoy, Davis and Duff (paper ref. [1]): elimination is
@@ -18,6 +23,13 @@ import (
 // removed. The returned permutation is new-to-old: position k holds the
 // k-th eliminated variable.
 func ApproxMinimumDegree(g *graph.Graph) sparse.Perm {
+	return approxMinimumDegree(g, nil)
+}
+
+// approxMinimumDegree is the cancellable AMD core: done is polled every
+// amdCheckEvery eliminations (nil never cancels), and a cancelled call
+// returns the partial elimination order, which the caller must discard.
+func approxMinimumDegree(g *graph.Graph, done <-chan struct{}) sparse.Perm {
 	n := g.N
 	if n == 0 {
 		return sparse.Perm{}
@@ -52,6 +64,9 @@ func ApproxMinimumDegree(g *graph.Graph) sparse.Perm {
 	var lp []int32
 
 	for len(order) < n {
+		if len(order)%amdCheckEvery == amdCheckEvery-1 && par.Canceled(done) {
+			return order
+		}
 		// Pop the variable of (approximately) minimum degree.
 		var p int32 = -1
 		for minDeg <= n {

@@ -15,8 +15,15 @@ import (
 // columns are grouped by their part id, preserving the original relative
 // order within each part.
 func GraphPartitionOrder(g *graph.Graph, opts Options) (sparse.Perm, error) {
+	return graphPartitionOrder(g, opts, nil)
+}
+
+// graphPartitionOrder is the cancellable GP core: done is threaded into the
+// partitioner's coarsening, initial-bisection and refinement loops; a
+// cancellation surfaces as a partitioner error (context.Canceled).
+func graphPartitionOrder(g *graph.Graph, opts Options, done <-chan struct{}) (sparse.Perm, error) {
 	opts = opts.withDefaults()
-	part, _, err := partition.KWay(g, opts.Parts, partition.Options{Seed: opts.Seed})
+	part, _, err := partition.KWay(g, opts.Parts, partition.Options{Seed: opts.Seed, Cancel: done})
 	if err != nil {
 		return nil, err
 	}
@@ -28,14 +35,21 @@ func GraphPartitionOrder(g *graph.Graph, opts Options) (sparse.Perm, error) {
 // cut-net metric with the same (row-count) balance criterion as GP, and
 // rows/columns are grouped by part. The paper fixes 128 parts for HP.
 func HypergraphPartitionOrder(a *sparse.CSR, opts Options) (sparse.Perm, error) {
+	return hypergraphPartitionOrder(a, opts, nil)
+}
+
+// hypergraphPartitionOrder is the cancellable HP core, mirroring
+// graphPartitionOrder.
+func hypergraphPartitionOrder(a *sparse.CSR, opts Options, done <-chan struct{}) (sparse.Perm, error) {
 	opts = opts.withDefaults()
 	h := hypergraph.ColumnNet(a)
+	hopts := hypergraph.Options{Seed: opts.Seed, Cancel: done}
 	var part []int32
 	var err error
 	if opts.HPObjective == Connectivity {
-		part, _, err = hypergraph.KWayConnectivity(h, opts.Parts, hypergraph.Options{Seed: opts.Seed})
+		part, _, err = hypergraph.KWayConnectivity(h, opts.Parts, hopts)
 	} else {
-		part, _, err = hypergraph.KWay(h, opts.Parts, hypergraph.Options{Seed: opts.Seed})
+		part, _, err = hypergraph.KWay(h, opts.Parts, hopts)
 	}
 	if err != nil {
 		return nil, err

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"sparseorder/internal/graph"
+	"sparseorder/internal/par"
 	"sparseorder/internal/partition"
 	"sparseorder/internal/sparse"
 )
@@ -15,6 +16,14 @@ import (
 // opts.NDSmall vertices, where a minimum-degree ordering is used instead —
 // the same small-subproblem strategy METIS' node dissection applies.
 func NestedDissection(g *graph.Graph, opts Options) sparse.Perm {
+	return nestedDissection(g, opts, nil)
+}
+
+// nestedDissection is the cancellable ND core: done is polled at every
+// dissection branch and threaded into the separator's multilevel machinery
+// and the small-subproblem AMD (nil never cancels). A cancelled call
+// returns a partial permutation the caller must discard.
+func nestedDissection(g *graph.Graph, opts Options, done <-chan struct{}) sparse.Perm {
 	opts = opts.withDefaults()
 	rng := rand.New(rand.NewSource(opts.Seed))
 	perm := make(sparse.Perm, 0, g.N)
@@ -22,18 +31,18 @@ func NestedDissection(g *graph.Graph, opts Options) sparse.Perm {
 	for i := range verts {
 		verts[i] = int32(i)
 	}
-	popts := partition.Options{Seed: opts.Seed}
+	popts := partition.Options{Seed: opts.Seed, Cancel: done}
 	dissect(g, verts, opts, popts, rng, &perm)
 	return perm
 }
 
 func dissect(root *graph.Graph, verts []int32, opts Options, popts partition.Options, rng *rand.Rand, perm *sparse.Perm) {
-	if len(verts) == 0 {
+	if len(verts) == 0 || par.Canceled(popts.Cancel) {
 		return
 	}
 	sub, orig := graph.InducedSubgraph(root, verts)
 	if len(verts) <= opts.NDSmall {
-		local := ApproxMinimumDegree(sub)
+		local := approxMinimumDegree(sub, popts.Cancel)
 		for _, v := range local {
 			*perm = append(*perm, int(orig[v]))
 		}
@@ -52,9 +61,11 @@ func dissect(root *graph.Graph, verts []int32, opts Options, popts partition.Opt
 		}
 	}
 	// Degenerate separators (everything on one side) would recurse forever;
-	// fall back to minimum degree for this subgraph.
+	// fall back to minimum degree for this subgraph. A cancellation mid-
+	// separator also lands here (the partial label puts everything on one
+	// side) and unwinds through the AMD core's own done check.
 	if len(left) == 0 || len(right) == 0 {
-		local := ApproxMinimumDegree(sub)
+		local := approxMinimumDegree(sub, popts.Cancel)
 		for _, v := range local {
 			*perm = append(*perm, int(orig[v]))
 		}

@@ -21,6 +21,10 @@ const (
 	MinDegreeStart
 )
 
+// cmCheckEvery is the number of dequeued vertices between cancellation
+// checks in the Cuthill-McKee BFS loop.
+const cmCheckEvery = 1024
+
 // CuthillMcKee computes the Cuthill-McKee ordering of g: each connected
 // component is traversed breadth-first from a pseudo-peripheral vertex,
 // appending unvisited neighbours in ascending-degree order. The returned
@@ -32,6 +36,14 @@ func CuthillMcKee(g *graph.Graph) sparse.Perm {
 // CuthillMcKeeWithStart is CuthillMcKee with an explicit root-selection
 // strategy.
 func CuthillMcKeeWithStart(g *graph.Graph, strategy StartStrategy) sparse.Perm {
+	return cuthillMcKeeSerial(g, strategy, nil)
+}
+
+// cuthillMcKeeSerial is the serial Cuthill-McKee core with a cooperative
+// cancellation hook; a nil done runs the historical uncancellable path at
+// no extra cost beyond a counter. On cancellation the partial permutation
+// is returned and must be discarded by the caller.
+func cuthillMcKeeSerial(g *graph.Graph, strategy StartStrategy, done <-chan struct{}) sparse.Perm {
 	n := g.N
 	perm := make(sparse.Perm, 0, n)
 	visited := make([]bool, n)
@@ -42,7 +54,10 @@ func CuthillMcKeeWithStart(g *graph.Graph, strategy StartStrategy) sparse.Perm {
 		if visited[s] {
 			continue
 		}
-		perm = cmComponent(g, s, strategy, perm, visited, scratch, neigh)
+		perm = cmComponent(g, s, strategy, perm, visited, scratch, neigh, done)
+		if par.Canceled(done) {
+			return perm
+		}
 	}
 	return perm
 }
@@ -51,24 +66,32 @@ func CuthillMcKeeWithStart(g *graph.Graph, strategy StartStrategy) sparse.Perm {
 // smallest-index vertex is s to perm. It touches visited only at the
 // component's own vertices, so concurrent calls on distinct components
 // sharing one visited slice are safe; scratch (length g.N) and neigh are
-// per-caller scratch space.
-func cmComponent(g *graph.Graph, s int, strategy StartStrategy, perm sparse.Perm, visited []bool, scratch, neigh []int32) sparse.Perm {
+// per-caller scratch space. done is polled every cmCheckEvery dequeues
+// (nil never cancels); a cancelled call returns a partial ordering that
+// the caller must discard.
+func cmComponent(g *graph.Graph, s int, strategy StartStrategy, perm sparse.Perm, visited []bool, scratch, neigh []int32, done <-chan struct{}) sparse.Perm {
 	start := s
 	if strategy == PseudoPeripheralStart {
-		start, _ = graph.PseudoPeripheral(g, s, scratch)
+		start, _ = graph.PseudoPeripheralCancel(g, s, scratch, done)
 	} else {
 		// Minimum-degree vertex of the component containing s.
-		r := graph.BFS(g, s, scratch)
+		r := graph.BFSCancel(g, s, scratch, done)
 		for _, v := range r.Order {
 			if g.Degree(int(v)) < g.Degree(start) {
 				start = int(v)
 			}
 		}
 	}
+	if par.Canceled(done) {
+		return perm
+	}
 	compStart := len(perm)
 	perm = append(perm, start)
 	visited[start] = true
 	for head := compStart; head < len(perm); head++ {
+		if (head-compStart)%cmCheckEvery == cmCheckEvery-1 && par.Canceled(done) {
+			return perm
+		}
 		v := perm[head]
 		neigh = neigh[:0]
 		for _, u := range g.Neighbors(v) {
@@ -99,9 +122,18 @@ func cmComponent(g *graph.Graph, s int, strategy StartStrategy, perm sparse.Perm
 // CuthillMcKeeWithStart at every worker count (0 = GOMAXPROCS, 1 = the
 // exact serial code path).
 func CuthillMcKeeWorkers(g *graph.Graph, strategy StartStrategy, workers int) sparse.Perm {
+	return cuthillMcKee(g, strategy, workers, nil)
+}
+
+// cuthillMcKee is the cancellable Cuthill-McKee dispatcher behind the
+// exported entry points: done is polled inside every component traversal
+// (serial or pooled), so a wedged ordering stops within cmCheckEvery
+// dequeues of a cancellation instead of running to completion, and the
+// pool goroutines exit promptly rather than leaking past their caller.
+func cuthillMcKee(g *graph.Graph, strategy StartStrategy, workers int, done <-chan struct{}) sparse.Perm {
 	w := par.Resolve(workers)
 	if w == 1 {
-		return CuthillMcKeeWithStart(g, strategy)
+		return cuthillMcKeeSerial(g, strategy, done)
 	}
 	if g.N == 0 {
 		return sparse.Perm{}
@@ -111,8 +143,8 @@ func CuthillMcKeeWorkers(g *graph.Graph, strategy StartStrategy, workers int) sp
 	// cost, with no component scan, channel or goroutine overhead.
 	visited := make([]bool, g.N)
 	first := cmComponent(g, 0, strategy, make(sparse.Perm, 0, g.N), visited,
-		make([]int32, g.N), make([]int32, 0, g.MaxDegree()))
-	if len(first) == g.N {
+		make([]int32, g.N), make([]int32, 0, g.MaxDegree()), done)
+	if len(first) == g.N || par.Canceled(done) {
 		return first
 	}
 	// Remaining components run on the pool. Components lists them in
@@ -137,9 +169,12 @@ func CuthillMcKeeWorkers(g *graph.Graph, strategy StartStrategy, workers int) sp
 			scratch := make([]int32, g.N)
 			neigh := make([]int32, 0, g.MaxDegree())
 			for ci := range jobs {
+				if par.Canceled(done) {
+					continue // drain remaining jobs without ordering them
+				}
 				comp := comps[ci]
 				part := make(sparse.Perm, 0, len(comp))
-				parts[ci] = cmComponent(g, int(comp[0]), strategy, part, visited, scratch, neigh)
+				parts[ci] = cmComponent(g, int(comp[0]), strategy, part, visited, scratch, neigh, done)
 			}
 		}()
 	}
@@ -174,7 +209,13 @@ func ReverseCuthillMcKeeWithStart(g *graph.Graph, strategy StartStrategy) sparse
 // ReverseCuthillMcKeeWorkers is ReverseCuthillMcKee with connected
 // components ordered concurrently by CuthillMcKeeWorkers.
 func ReverseCuthillMcKeeWorkers(g *graph.Graph, strategy StartStrategy, workers int) sparse.Perm {
-	p := CuthillMcKeeWorkers(g, strategy, workers)
+	return reverseCuthillMcKee(g, strategy, workers, nil)
+}
+
+// reverseCuthillMcKee is the cancellable core shared by the exported
+// wrapper and the context-aware ordering dispatch.
+func reverseCuthillMcKee(g *graph.Graph, strategy StartStrategy, workers int, done <-chan struct{}) sparse.Perm {
+	p := cuthillMcKee(g, strategy, workers, done)
 	for i, j := 0, len(p)-1; i < j; i, j = i+1, j-1 {
 		p[i], p[j] = p[j], p[i]
 	}

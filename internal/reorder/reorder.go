@@ -6,6 +6,7 @@
 package reorder
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -131,14 +132,36 @@ func Compute(alg Algorithm, a *sparse.CSR, opts Options) (sparse.Perm, error) {
 	return p, err
 }
 
+// ComputeCtx is Compute driven by a context: cancellation and deadline
+// expiry interrupt the ordering algorithm itself (BFS, elimination,
+// coarsening and refinement loops all poll the context's done channel), so
+// a wedged ordering stops within a bounded amount of work instead of
+// running to completion. A cancelled call returns the context's error and
+// never a partial permutation.
+func ComputeCtx(ctx context.Context, alg Algorithm, a *sparse.CSR, opts Options) (sparse.Perm, error) {
+	p, _, err := ComputeTimedCtx(ctx, alg, a, opts)
+	return p, err
+}
+
 // ComputeTimed is Compute reporting the graph-construction and ordering
 // phase times (PermuteSeconds stays zero).
 func ComputeTimed(alg Algorithm, a *sparse.CSR, opts Options) (sparse.Perm, PhaseTimings, error) {
+	return ComputeTimedCtx(context.Background(), alg, a, opts)
+}
+
+// ComputeTimedCtx is ComputeCtx reporting phase times. For a background
+// context ctx.Done() is nil and every cancellation check is a no-op, so
+// the uncancelled path is byte-identical to the historical one.
+func ComputeTimedCtx(ctx context.Context, alg Algorithm, a *sparse.CSR, opts Options) (sparse.Perm, PhaseTimings, error) {
 	var t PhaseTimings
+	if err := ctx.Err(); err != nil {
+		return nil, t, err
+	}
 	if a.Rows != a.Cols {
 		return nil, t, fmt.Errorf("reorder: matrix must be square, got %dx%d", a.Rows, a.Cols)
 	}
 	opts = opts.withDefaults()
+	done := ctx.Done()
 	if alg.NeedsGraph() {
 		start := time.Now()
 		g, err := graph.FromMatrixSymmetrizedWorkers(a, opts.Workers)
@@ -146,9 +169,17 @@ func ComputeTimed(alg Algorithm, a *sparse.CSR, opts Options) (sparse.Perm, Phas
 			return nil, t, err
 		}
 		t.GraphSeconds = time.Since(start).Seconds()
+		if err := ctx.Err(); err != nil {
+			return nil, t, err
+		}
 		start = time.Now()
-		p, err := orderGraph(alg, g, opts)
+		p, err := orderGraph(alg, g, opts, done)
 		t.OrderSeconds = time.Since(start).Seconds()
+		if cerr := ctx.Err(); cerr != nil {
+			// The ordering bailed out early; its partial result must not
+			// escape to callers.
+			return nil, t, cerr
+		}
 		return p, t, err
 	}
 	start := time.Now()
@@ -158,13 +189,16 @@ func ComputeTimed(alg Algorithm, a *sparse.CSR, opts Options) (sparse.Perm, Phas
 	case Original:
 		p = sparse.Identity(a.Rows)
 	case HP:
-		p, err = HypergraphPartitionOrder(a, opts)
+		p, err = hypergraphPartitionOrder(a, opts, done)
 	case Gray:
 		p = GrayOrder(a, opts)
 	default:
 		return nil, t, fmt.Errorf("reorder: unknown algorithm %q", alg)
 	}
 	t.OrderSeconds = time.Since(start).Seconds()
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, t, cerr
+	}
 	if err != nil {
 		return nil, t, err
 	}
@@ -172,16 +206,19 @@ func ComputeTimed(alg Algorithm, a *sparse.CSR, opts Options) (sparse.Perm, Phas
 }
 
 // orderGraph runs a graph-based ordering on a prebuilt adjacency graph.
-func orderGraph(alg Algorithm, g *graph.Graph, opts Options) (sparse.Perm, error) {
+// done is threaded into each algorithm's inner loops; a cancelled call may
+// return a partial permutation, which the caller discards after checking
+// the context.
+func orderGraph(alg Algorithm, g *graph.Graph, opts Options, done <-chan struct{}) (sparse.Perm, error) {
 	switch alg {
 	case RCM:
-		return ReverseCuthillMcKeeWorkers(g, PseudoPeripheralStart, opts.Workers), nil
+		return reverseCuthillMcKee(g, PseudoPeripheralStart, opts.Workers, done), nil
 	case AMD:
-		return ApproxMinimumDegree(g), nil
+		return approxMinimumDegree(g, done), nil
 	case ND:
-		return NestedDissection(g, opts), nil
+		return nestedDissection(g, opts, done), nil
 	case GP:
-		return GraphPartitionOrder(g, opts)
+		return graphPartitionOrder(g, opts, done)
 	default:
 		return nil, fmt.Errorf("reorder: algorithm %q does not order a graph", alg)
 	}
@@ -195,12 +232,33 @@ func Apply(alg Algorithm, a *sparse.CSR, opts Options) (*sparse.CSR, sparse.Perm
 	return b, p, err
 }
 
+// ApplyCtx is Apply driven by a context; see ComputeCtx for the
+// cancellation contract.
+func ApplyCtx(ctx context.Context, alg Algorithm, a *sparse.CSR, opts Options) (*sparse.CSR, sparse.Perm, error) {
+	b, p, _, err := ApplyTimedCtx(ctx, alg, a, opts)
+	return b, p, err
+}
+
 // ApplyTimed is Apply reporting the per-phase wall-clock breakdown
 // (graph construction, ordering, permutation application).
 func ApplyTimed(alg Algorithm, a *sparse.CSR, opts Options) (*sparse.CSR, sparse.Perm, PhaseTimings, error) {
-	p, t, err := ComputeTimed(alg, a, opts)
+	return ApplyTimedCtx(context.Background(), alg, a, opts)
+}
+
+// ApplyTimedCtx is ApplyCtx reporting phase times. Before permuting it
+// validates the computed permutation (length and bijectivity), so a buggy
+// ordering surfaces as a typed error naming the algorithm rather than as a
+// silently corrupted matrix.
+func ApplyTimedCtx(ctx context.Context, alg Algorithm, a *sparse.CSR, opts Options) (*sparse.CSR, sparse.Perm, PhaseTimings, error) {
+	p, t, err := ComputeTimedCtx(ctx, alg, a, opts)
 	if err != nil {
 		return nil, nil, t, err
+	}
+	if len(p) != a.Rows {
+		return nil, nil, t, fmt.Errorf("reorder: %s produced a permutation of length %d for a %d-row matrix", alg, len(p), a.Rows)
+	}
+	if verr := p.Validate(); verr != nil {
+		return nil, nil, t, fmt.Errorf("reorder: %s produced an invalid permutation: %w", alg, verr)
 	}
 	start := time.Now()
 	var b *sparse.CSR

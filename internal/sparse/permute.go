@@ -17,17 +17,47 @@ func Identity(n int) Perm {
 	return p
 }
 
-// IsValid reports whether p is a bijection on {0, …, len(p)-1}.
-func (p Perm) IsValid() bool {
-	seen := make([]bool, len(p))
-	for _, v := range p {
-		if v < 0 || v >= len(p) || seen[v] {
-			return false
-		}
-		seen[v] = true
-	}
-	return true
+// PermError describes the first way a permutation fails to be a bijection
+// on {0, …, N-1}. Perm.Validate returns it, and the permutation entry
+// points propagate it, so callers can recognise a buggy ordering with
+// errors.As before it corrupts a matrix.
+type PermError struct {
+	N     int // permutation length
+	Index int // offending position
+	Value int // value found at Index
+	Dup   int // earlier position holding the same value; -1 for a range error
 }
+
+func (e *PermError) Error() string {
+	if e.Dup >= 0 {
+		return fmt.Sprintf("sparse: permutation of length %d maps positions %d and %d to the same value %d",
+			e.N, e.Dup, e.Index, e.Value)
+	}
+	return fmt.Sprintf("sparse: permutation of length %d has out-of-range value %d at position %d",
+		e.N, e.Value, e.Index)
+}
+
+// Validate checks that p is a bijection on {0, …, len(p)-1}, returning a
+// *PermError locating the first out-of-range or duplicated value.
+func (p Perm) Validate() error {
+	seen := make([]int32, len(p))
+	for i := range seen {
+		seen[i] = -1
+	}
+	for i, v := range p {
+		if v < 0 || v >= len(p) {
+			return &PermError{N: len(p), Index: i, Value: v, Dup: -1}
+		}
+		if j := seen[v]; j >= 0 {
+			return &PermError{N: len(p), Index: i, Value: v, Dup: int(j)}
+		}
+		seen[v] = int32(i)
+	}
+	return nil
+}
+
+// IsValid reports whether p is a bijection on {0, …, len(p)-1}.
+func (p Perm) IsValid() bool { return p.Validate() == nil }
 
 // Inverse returns the old-to-new permutation q with q[p[i]] = i.
 func (p Perm) Inverse() Perm {
@@ -58,8 +88,8 @@ func PermuteSymmetric(a *CSR, p Perm) (*CSR, error) {
 	if len(p) != a.Rows {
 		return nil, fmt.Errorf("sparse: permutation length %d, want %d", len(p), a.Rows)
 	}
-	if !p.IsValid() {
-		return nil, fmt.Errorf("sparse: invalid permutation")
+	if err := p.Validate(); err != nil {
+		return nil, err
 	}
 	inv := p.Inverse()
 	b := &CSR{
@@ -92,8 +122,8 @@ func PermuteRows(a *CSR, p Perm) (*CSR, error) {
 	if len(p) != a.Rows {
 		return nil, fmt.Errorf("sparse: permutation length %d, want %d rows", len(p), a.Rows)
 	}
-	if !p.IsValid() {
-		return nil, fmt.Errorf("sparse: invalid permutation")
+	if err := p.Validate(); err != nil {
+		return nil, err
 	}
 	b := &CSR{
 		Rows:   a.Rows,
@@ -120,8 +150,8 @@ func PermuteCols(a *CSR, p Perm) (*CSR, error) {
 	if len(p) != a.Cols {
 		return nil, fmt.Errorf("sparse: permutation length %d, want %d cols", len(p), a.Cols)
 	}
-	if !p.IsValid() {
-		return nil, fmt.Errorf("sparse: invalid permutation")
+	if err := p.Validate(); err != nil {
+		return nil, err
 	}
 	inv := p.Inverse()
 	b := a.Clone()

@@ -133,10 +133,7 @@ func checkPerm(p Perm, n int, suffix string) error {
 	if len(p) != n {
 		return fmt.Errorf("sparse: permutation length %d, want %d%s", len(p), n, suffix)
 	}
-	if !p.IsValid() {
-		return fmt.Errorf("sparse: invalid permutation")
-	}
-	return nil
+	return p.Validate()
 }
 
 func sortLongRow(cols []int32, vals []float64) {
