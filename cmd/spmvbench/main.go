@@ -7,15 +7,18 @@
 //
 //	spmvbench [-alg Original|RCM|AMD|ND|GP|HP|Gray] [-threads N]
 //	          [-repeats N] [-gen NAME | input.mtx]
+//	          [-cpuprofile FILE] [-memprofile FILE] [-trace FILE]
 //
 // With -gen, a named matrix from the synthetic collection is used instead
-// of a Matrix Market file (run with -gen list to enumerate).
+// of a Matrix Market file (run with -gen list to enumerate). -cpuprofile,
+// -memprofile and -trace write the corresponding runtime profiles; the
+// files are finalised on every exit path.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"runtime"
 	"time"
@@ -23,21 +26,46 @@ import (
 	"sparseorder/internal/gen"
 	"sparseorder/internal/machine"
 	"sparseorder/internal/metrics"
+	"sparseorder/internal/obs"
 	"sparseorder/internal/reorder"
 	"sparseorder/internal/sparse"
 	"sparseorder/internal/spmv"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("spmvbench: ")
+	os.Exit(run())
+}
+
+func run() int {
 	alg := flag.String("alg", "Original", "reordering to apply before the benchmark")
 	threads := flag.Int("threads", runtime.GOMAXPROCS(0), "host threads")
 	repeats := flag.Int("repeats", 100, "timed iterations; the best run is reported (as in the paper)")
 	genName := flag.String("gen", "", "use a named matrix from the synthetic collection ('list' to enumerate)")
 	scaleName := flag.String("scale", "study", "collection scale for -gen: test, study or large")
 	seed := flag.Int64("seed", 42, "collection seed")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	tracePath := flag.String("trace", "", "write a runtime execution trace to this file")
 	flag.Parse()
+
+	lg := obs.NewLogger(os.Stderr, obs.LevelInfo, "spmvbench: ")
+
+	// fail replaces log.Fatal: returning through run() lets the deferred
+	// profile Stop finalise -cpuprofile/-trace files on error exits too.
+	fail := func(format string, args ...any) int {
+		lg.Errorf(format, args...)
+		return 1
+	}
+
+	prof, err := obs.StartProfiles(*cpuprofile, *memprofile, *tracePath)
+	if err != nil {
+		return fail("%v", err)
+	}
+	defer func() {
+		if err := prof.Stop(); err != nil {
+			lg.Errorf("profile: %v", err)
+		}
+	}()
 
 	scale := gen.ScaleStudy
 	switch *scaleName {
@@ -53,7 +81,7 @@ func main() {
 		for _, m := range gen.Collection(scale, *seed) {
 			fmt.Println(m.Describe())
 		}
-		return
+		return 0
 	case *genName != "":
 		for _, m := range gen.Collection(scale, *seed) {
 			if m.Name == *genName {
@@ -61,28 +89,33 @@ func main() {
 			}
 		}
 		if a == nil {
-			log.Fatalf("no matrix named %q in the collection (use -gen list)", *genName)
+			return fail("no matrix named %q in the collection (use -gen list)", *genName)
 		}
 	case flag.NArg() == 1:
 		f, err := os.Open(flag.Arg(0))
 		if err != nil {
-			log.Fatal(err)
+			return fail("%v", err)
 		}
 		a, err = sparse.ReadMatrixMarket(f)
 		f.Close()
 		if err != nil {
-			log.Fatal(err)
+			return fail("%v", err)
 		}
 	default:
-		log.Fatal("usage: spmvbench [-gen NAME | input.mtx]")
+		return fail("usage: spmvbench [-gen NAME | input.mtx]")
 	}
+
+	// The reordering and plan-construction steps go through the ctx-aware
+	// entry points so the instrumented pipeline is the one profiled; with
+	// no Obs attached the instrumentation resolves to nil and is free.
+	ctx := context.Background()
 
 	if *alg != string(reorder.Original) {
 		start := time.Now()
 		var err error
-		a, _, err = reorder.Apply(reorder.Algorithm(*alg), a, reorder.Options{Seed: *seed})
+		a, _, err = reorder.ApplyCtx(ctx, reorder.Algorithm(*alg), a, reorder.Options{Seed: *seed})
 		if err != nil {
-			log.Fatal(err)
+			return fail("%v", err)
 		}
 		fmt.Printf("reordering (%s): %v\n", *alg, time.Since(start).Round(time.Microsecond))
 	}
@@ -102,17 +135,17 @@ func main() {
 	fmt.Printf("host 1D (%d threads): %v/iter, %.2f Gflop/s\n",
 		*threads, time.Duration(float64(time.Second)*time1D), spmv.Gflops(a.NNZ(), time1D))
 
-	plan, err := spmv.NewPlan2D(a, *threads)
+	plan, err := spmv.NewPlan2DCtx(ctx, a, *threads)
 	if err != nil {
-		log.Fatal(err)
+		return fail("%v", err)
 	}
 	time2D := timeBest(*repeats, func() { spmv.Mul2D(a, x, y, plan) })
 	fmt.Printf("host 2D (%d threads): %v/iter, %.2f Gflop/s\n",
 		*threads, time.Duration(float64(time.Second)*time2D), spmv.Gflops(a.NNZ(), time2D))
 
-	mplan, err := spmv.NewPlanMerge(a, *threads)
+	mplan, err := spmv.NewPlanMergeCtx(ctx, a, *threads)
 	if err != nil {
-		log.Fatal(err)
+		return fail("%v", err)
 	}
 	timeMg := timeBest(*repeats, func() { spmv.MulMerge(a, x, y, mplan) })
 	fmt.Printf("host merge (%d threads): %v/iter, %.2f Gflop/s\n",
@@ -125,6 +158,7 @@ func main() {
 		e2 := machine.EstimateSpMV(a, m, machine.Kernel2D)
 		fmt.Printf("%-10s %8d %12.2f %12.2f %10.3f\n", m.Name, m.Cores, e1.Gflops, e2.Gflops, e1.Imbalance)
 	}
+	return 0
 }
 
 func timeBest(repeats int, f func()) float64 {

@@ -3,10 +3,12 @@
 //
 // Usage:
 //
-//	study [-exp all|fig1|fig2|fig3|fig4|fig5|fig6|table3|table4|table5|densecsr|benchreorder|artifact]
+//	study [-exp all|fig1|fig2|fig3|fig4|fig5|fig6|table3|table4|table5|densecsr|benchreorder|benchobs|artifact]
 //	      [-scale test|study|large] [-seed N] [-out DIR] [-v]
 //	      [-workers N] [-reorder-workers N] [-timeout D]
 //	      [-checkpoint FILE] [-resume] [-retries N]
+//	      [-http ADDR] [-http-linger D] [-events FILE]
+//	      [-cpuprofile FILE] [-memprofile FILE] [-trace FILE]
 //
 // Matrices are evaluated concurrently by -workers workers (default
 // GOMAXPROCS); within each matrix, the reordering pipeline (graph
@@ -23,9 +25,22 @@
 // killed run continues where it stopped and produces byte-identical
 // results. All artifact files are written atomically (temp file + rename).
 //
+// With -http, a live telemetry endpoint is served on ADDR for the
+// duration of the run: /metrics (Prometheus text format: per-phase span
+// latency histograms, matrix outcome/failure-class counters),
+// /progress (JSON: matrices done/queued/failed, ETA, current matrix per
+// worker), /debug/pprof/* and /debug/vars. -http-linger keeps the
+// endpoint alive for D after the run finishes so short runs can still be
+// scraped. With -events, every span open/close and failure is appended
+// to FILE as structured JSONL. -cpuprofile, -memprofile and -trace
+// write the corresponding runtime profiles; the files are finalised on
+// every exit path, including interrupt (exit 3) and partial failure
+// (exit 2).
+//
 // -exp benchreorder measures the reordering hot path serial vs parallel
 // and prints the BENCH_reorder.json document (also written to -out DIR
-// when given).
+// when given). -exp benchobs measures the observability layer's
+// disabled-path overhead and prints BENCH_obs.json.
 //
 // Results are printed to stdout; with -out, artifact-format data files
 // (one per machine and kernel, as in the paper's Zenodo artifact) are also
@@ -42,7 +57,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -54,6 +69,7 @@ import (
 	"sparseorder/internal/fsutil"
 	"sparseorder/internal/gen"
 	"sparseorder/internal/machine"
+	"sparseorder/internal/obs"
 )
 
 // Exit codes; distinct values let scripts tell partial results from an
@@ -66,12 +82,10 @@ const (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("study: ")
 	os.Exit(run())
 }
 
-func run() int {
+func run() (code int) {
 	exp := flag.String("exp", "all", "experiment to run: all, fig1..fig6, table3..table5, densecsr, findings, artifact")
 	scaleName := flag.String("scale", "test", "collection scale: test, study or large")
 	seed := flag.Int64("seed", 42, "collection seed")
@@ -84,7 +98,54 @@ func run() int {
 	checkpoint := flag.String("checkpoint", "", "journal file recording each completed matrix for crash-safe resume")
 	resume := flag.Bool("resume", false, "resume from the -checkpoint journal, skipping matrices it records")
 	retries := flag.Int("retries", 0, "additional attempts for matrices failing by timeout or panic")
+	httpAddr := flag.String("http", "", "serve /metrics, /progress and /debug/pprof on this address while the run is live")
+	httpLinger := flag.Duration("http-linger", 0, "keep the -http endpoint alive this long after the run finishes")
+	eventsPath := flag.String("events", "", "append structured JSONL span and failure events to this file")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	tracePath := flag.String("trace", "", "write a runtime execution trace to this file")
 	flag.Parse()
+
+	// Level gating preserves the historical contract: per-matrix progress
+	// is -v only, while warnings, errors and artifact announcements
+	// (Printf) always reach stderr with the same "study: " prefix.
+	level := obs.LevelWarn
+	if *verbose {
+		level = obs.LevelInfo
+	}
+	lg := obs.NewLogger(os.Stderr, level, "study: ")
+
+	// The linger/close defer is registered first so it runs last: profiles
+	// and the event log are finalised before the endpoint idles, and the
+	// server stays scrapeable until the very end of the linger window.
+	var (
+		srv       *http.Server
+		lingerCtx context.Context = context.Background()
+	)
+	defer func() {
+		if srv == nil {
+			return
+		}
+		if *httpLinger > 0 {
+			lg.Printf("run finished (exit %d); -http endpoint stays up for %v", code, *httpLinger)
+			select {
+			case <-time.After(*httpLinger):
+			case <-lingerCtx.Done():
+			}
+		}
+		srv.Close()
+	}()
+
+	prof, err := obs.StartProfiles(*cpuprofile, *memprofile, *tracePath)
+	if err != nil {
+		lg.Errorf("%v", err)
+		return exitFatal
+	}
+	defer func() {
+		if err := prof.Stop(); err != nil {
+			lg.Errorf("profile: %v", err)
+		}
+	}()
 
 	var scale gen.Scale
 	switch *scaleName {
@@ -95,7 +156,7 @@ func run() int {
 	case "large":
 		scale = gen.ScaleLarge
 	default:
-		log.Printf("unknown scale %q", *scaleName)
+		lg.Errorf("unknown scale %q", *scaleName)
 		return exitFatal
 	}
 	rw := *reorderWorkers
@@ -110,19 +171,52 @@ func run() int {
 		ReorderWorkers: rw,
 		Timeout:        *timeout,
 		Retries:        *retries,
+		Logf:           lg.Infof, // level-gated: silent unless -v
 	}
-	if *verbose {
-		cfg.Logf = func(format string, args ...any) { log.Printf(format, args...) }
+
+	// The observability sinks are built only when a consumer asked for
+	// them; otherwise cfg.Obs stays nil and the instrumented stack runs on
+	// its zero-allocation disabled path.
+	if *httpAddr != "" || *eventsPath != "" {
+		o := &obs.Obs{
+			Metrics:  obs.NewRegistry(),
+			Progress: obs.NewProgress(),
+			Log:      lg,
+		}
+		if *eventsPath != "" {
+			ev, err := obs.OpenEventLog(*eventsPath)
+			if err != nil {
+				lg.Errorf("%v", err)
+				return exitFatal
+			}
+			defer func() {
+				if err := ev.Close(); err != nil {
+					lg.Errorf("event log: %v", err)
+				}
+			}()
+			o.Events = ev
+			lg.AttachEvents(ev)
+		}
+		if *httpAddr != "" {
+			s, addr, err := obs.Serve(*httpAddr, o)
+			if err != nil {
+				lg.Errorf("%v", err)
+				return exitFatal
+			}
+			srv = s
+			lg.Printf("telemetry on http://%s/ (metrics, progress, pprof)", addr)
+		}
+		cfg.Obs = o
 	}
 
 	if *resume && *checkpoint == "" {
-		log.Print("-resume requires -checkpoint")
+		lg.Errorf("-resume requires -checkpoint")
 		return exitFatal
 	}
 	if *checkpoint != "" {
 		j, err := openJournal(*checkpoint, *resume, cfg)
 		if err != nil {
-			log.Print(err)
+			lg.Errorf("%v", err)
 			return exitFatal
 		}
 		defer j.Close()
@@ -132,11 +226,12 @@ func run() int {
 	// Ctrl-C cancels the study; workers stop at their next checkpoint.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	lingerCtx = ctx
 
 	want := func(name string) bool { return *exp == "all" || *exp == name }
 
 	// Experiments that need the full study run.
-	needStudy := *exp == "all" || (*out != "" && *exp != "benchreorder")
+	needStudy := *exp == "all" || (*out != "" && *exp != "benchreorder" && *exp != "benchobs")
 	for _, name := range []string{"fig2", "fig3", "fig5", "fig6", "table3", "table4", "artifact", "findings"} {
 		if *exp == name {
 			needStudy = true
@@ -148,30 +243,27 @@ func run() int {
 		var err error
 		s, err = experiments.RunStudyContext(ctx, cfg)
 		if errors.Is(err, context.Canceled) {
-			log.Print("run aborted; completed matrices are in the checkpoint journal (use -resume to continue)")
+			lg.Warnf("run aborted; completed matrices are in the checkpoint journal (use -resume to continue)")
 			return exitAborted
 		}
 		if err != nil {
-			log.Print(err)
+			lg.Errorf("%v", err)
 			return exitFatal
 		}
 		for i := range s.Failures {
-			log.Printf("warning: matrix failed: %v", &s.Failures[i])
+			lg.Warnf("warning: matrix failed: %v", &s.Failures[i])
 		}
 		if len(s.Matrices) == 0 {
-			log.Printf("no matrix evaluated successfully (%d failures)", len(s.Failures))
+			lg.Errorf("no matrix evaluated successfully (%d failures)", len(s.Failures))
 			return exitFatal
 		}
-		if *verbose {
-			log.Printf("study: %d matrices, %d failures in %v",
-				len(s.Matrices), len(s.Failures), time.Since(start).Round(time.Millisecond))
-		}
+		lg.Infof("study: %d matrices, %d failures in %v",
+			len(s.Matrices), len(s.Failures), time.Since(start).Round(time.Millisecond))
 	}
 
-	code := exitOK
 	emit := func(text string, err error) {
 		if err != nil {
-			log.Print(err)
+			lg.Errorf("%v", err)
 			code = exitFatal
 			return
 		}
@@ -211,8 +303,9 @@ func run() int {
 	if code != exitOK {
 		return code
 	}
-	// benchreorder is explicit-only: it measures wall clock on fixed-size
-	// inputs and would slow "all" runs without adding to the tables.
+	// benchreorder and benchobs are explicit-only: they measure wall clock
+	// on fixed-size inputs and would slow "all" runs without adding to the
+	// tables.
 	if *exp == "benchreorder" {
 		counts := []int{1, 2, 4}
 		if g := runtime.GOMAXPROCS(0); g != 1 && g != 2 && g != 4 {
@@ -221,26 +314,33 @@ func run() int {
 		bench, err := experiments.RunReorderBench(
 			experiments.ReorderBenchMatrices(*seed), counts, *repeats)
 		if err != nil {
-			log.Print(err)
+			lg.Errorf("%v", err)
 			return exitFatal
 		}
 		text, err := experiments.RenderReorderBench(bench)
 		if err != nil {
-			log.Print(err)
+			lg.Errorf("%v", err)
 			return exitFatal
 		}
 		fmt.Print(text)
-		if *out != "" {
-			if err := os.MkdirAll(*out, 0o755); err != nil {
-				log.Print(err)
-				return exitFatal
-			}
-			path := filepath.Join(*out, "BENCH_reorder.json")
-			if err := fsutil.WriteFileAtomic(path, []byte(text), 0o644); err != nil {
-				log.Print(err)
-				return exitFatal
-			}
-			log.Printf("wrote %s", path)
+		if werr := writeBenchFile(*out, "BENCH_reorder.json", text, lg); werr != nil {
+			return exitFatal
+		}
+	}
+	if *exp == "benchobs" {
+		bench, err := experiments.RunObsBench(*seed, *repeats)
+		if err != nil {
+			lg.Errorf("%v", err)
+			return exitFatal
+		}
+		text, err := experiments.RenderObsBench(bench)
+		if err != nil {
+			lg.Errorf("%v", err)
+			return exitFatal
+		}
+		fmt.Print(text)
+		if werr := writeBenchFile(*out, "BENCH_obs.json", text, lg); werr != nil {
+			return exitFatal
 		}
 	}
 	if want("findings") {
@@ -256,10 +356,10 @@ func run() int {
 			dir = "artifact"
 		}
 		if err := writeArtifacts(dir, s); err != nil {
-			log.Print(err)
+			lg.Errorf("%v", err)
 			return exitFatal
 		}
-		log.Printf("wrote artifact files to %s", dir)
+		lg.Printf("wrote artifact files to %s", dir)
 	}
 
 	if s != nil && len(s.Failures) > 0 {
@@ -277,6 +377,25 @@ func run() int {
 		return exitSomeFailed
 	}
 	return code
+}
+
+// writeBenchFile writes a benchmark JSON document under -out (no-op when
+// -out is empty), announcing the path on success.
+func writeBenchFile(dir, name, text string, lg *obs.Logger) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		lg.Errorf("%v", err)
+		return err
+	}
+	path := filepath.Join(dir, name)
+	if err := fsutil.WriteFileAtomic(path, []byte(text), 0o644); err != nil {
+		lg.Errorf("%v", err)
+		return err
+	}
+	lg.Printf("wrote %s", path)
+	return nil
 }
 
 // openJournal creates or (with resume) reloads the checkpoint journal.

@@ -10,6 +10,7 @@ import (
 
 	"sparseorder/internal/gen"
 	"sparseorder/internal/machine"
+	"sparseorder/internal/obs"
 	"sparseorder/internal/reorder"
 )
 
@@ -122,6 +123,14 @@ func runStudy(ctx context.Context, cfg Config, coll []gen.Matrix, eval evalFunc)
 	cfg = cfg.withDefaults()
 	machine.CacheScale = machine.CacheScaleFor(cfg.Scale.Factor())
 
+	// Attach the observability sinks to the evaluation context so every
+	// layer below (study orderings, reorder phases, partitioner levels)
+	// reports through them. With cfg.Obs nil this is a no-op and the whole
+	// instrumented stack stays on its zero-allocation disabled path.
+	o := cfg.Obs
+	ctx = obs.NewContext(ctx, o)
+	tel := newRunTelemetry(o)
+
 	results := make([]*MatrixResult, len(coll))
 	failures := make([]*MatrixError, len(coll))
 
@@ -142,7 +151,8 @@ func runStudy(ctx context.Context, cfg Config, coll []gen.Matrix, eval evalFunc)
 		}
 		pending = append(pending, i)
 	}
-	if skipped := len(coll) - len(pending); skipped > 0 {
+	skipped := len(coll) - len(pending)
+	if skipped > 0 {
 		cfg.Logf("resuming: %d/%d matrices already journaled, %d to run",
 			skipped, len(coll), len(pending))
 	}
@@ -154,6 +164,7 @@ func runStudy(ctx context.Context, cfg Config, coll []gen.Matrix, eval evalFunc)
 	if workers > len(pending) {
 		workers = len(pending)
 	}
+	tel.runStart(len(pending), skipped, workers)
 
 	var (
 		mu        sync.Mutex // guards the progress counters and serialises Logf
@@ -169,11 +180,23 @@ func runStudy(ctx context.Context, cfg Config, coll []gen.Matrix, eval evalFunc)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			// Per-worker logger: new telemetry lines carry a "[wN]" prefix;
+			// the historical progress lines below keep their exact format.
+			wlogf := logf
+			if o != nil && o.Log != nil {
+				wlogf = o.Log.Worker(w).Infof
+			}
 			for idx := range jobs {
 				m := coll[idx]
-				r, attempts, err := evaluateWithRetry(ctx, m, cfg, eval, logf)
+				tel.startMatrix(w, m.Name)
+				mctx, sp := obs.Start(ctx, "study/matrix")
+				sp.SetAttr("matrix", m.Name)
+				sp.SetAttr("worker", fmt.Sprint(w))
+				evalStart := time.Now()
+				r, attempts, err := evaluateWithRetry(mctx, m, cfg, eval, wlogf)
+				sp.End()
 
 				var me *MatrixError
 				if err != nil {
@@ -184,16 +207,19 @@ func runStudy(ctx context.Context, cfg Config, coll []gen.Matrix, eval evalFunc)
 				// matrices are deliberately not journaled: they were merely
 				// in flight when the run stopped and must re-run on resume.
 				if cfg.Journal != nil {
+					tm := tel.journalPh.Start()
 					var jerr error
 					if me == nil {
 						jerr = cfg.Journal.RecordResult(r)
 					} else if me.Class != FailCanceled {
 						jerr = cfg.Journal.RecordFailure(me)
 					}
+					tm.Stop()
 					if jerr != nil {
 						logf("journal write for %s failed (resume may redo it): %v", m.Name, jerr)
 					}
 				}
+				tel.finishMatrix(w, m.Name, me, attempts, time.Since(evalStart).Seconds())
 
 				mu.Lock()
 				completed++
@@ -209,7 +235,7 @@ func runStudy(ctx context.Context, cfg Config, coll []gen.Matrix, eval evalFunc)
 				}
 				mu.Unlock()
 			}
-		}()
+		}(w)
 	}
 
 feed:
@@ -222,6 +248,7 @@ feed:
 	}
 	close(jobs)
 	wg.Wait()
+	tel.runEnd()
 
 	if err := ctx.Err(); err != nil {
 		return nil, err

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"strings"
+
+	"sparseorder/internal/obs"
+)
+
+// runTelemetry bundles the metric handles and progress hooks the runner
+// touches per matrix, resolved once per run so the worker loop never does
+// a registry lookup. The zero value (no Obs attached) is fully inert:
+// every method is a cheap nil check.
+type runTelemetry struct {
+	o         *obs.Obs
+	done      *obs.Counter   // sparseorder_matrices_total{outcome="done"}
+	failed    *obs.Counter   // sparseorder_matrices_total{outcome="failed"}
+	retries   *obs.Counter   // sparseorder_matrix_retries_total
+	latency   *obs.Histogram // sparseorder_matrix_seconds
+	workers   *obs.Gauge     // sparseorder_workers
+	journalPh obs.Phase      // journal/append durations
+}
+
+func newRunTelemetry(o *obs.Obs) runTelemetry {
+	if o == nil || o.Metrics == nil {
+		return runTelemetry{o: o}
+	}
+	r := o.Metrics
+	return runTelemetry{
+		o: o,
+		done: r.Counter("sparseorder_matrices_total",
+			"matrices evaluated this run by outcome", obs.Label{Key: "outcome", Value: "done"}),
+		failed: r.Counter("sparseorder_matrices_total",
+			"matrices evaluated this run by outcome", obs.Label{Key: "outcome", Value: "failed"}),
+		retries: r.Counter("sparseorder_matrix_retries_total",
+			"additional evaluation attempts beyond the first"),
+		latency: r.Histogram("sparseorder_matrix_seconds",
+			"wall-clock per-matrix evaluation latency (including retries)", obs.DefBuckets),
+		workers:   r.Gauge("sparseorder_workers", "concurrent matrix evaluation workers"),
+		journalPh: o.Phase("journal/append"),
+	}
+}
+
+// runStart records the run shape: pending/journaled totals for the
+// progress view and the worker-count gauge.
+func (t runTelemetry) runStart(pending, journaled, workers int) {
+	if t.o == nil {
+		return
+	}
+	t.o.Progress.SetTotal(pending, journaled)
+	if t.workers != nil {
+		t.workers.Set(float64(workers))
+	}
+}
+
+// startMatrix marks the worker busy in the progress view.
+func (t runTelemetry) startMatrix(worker int, name string) {
+	if t.o == nil {
+		return
+	}
+	t.o.Progress.StartMatrix(worker, name)
+}
+
+// finishMatrix records the matrix outcome: latency histogram, outcome and
+// failure-class counters, retry count, progress, and — for terminal
+// failures — a structured failure event.
+func (t runTelemetry) finishMatrix(worker int, name string, me *MatrixError, attempts int, seconds float64) {
+	if t.o == nil {
+		return
+	}
+	if t.latency != nil {
+		t.latency.Observe(seconds)
+	}
+	if attempts > 1 && t.retries != nil {
+		t.retries.Add(uint64(attempts - 1))
+	}
+	if me == nil {
+		if t.done != nil {
+			t.done.Inc()
+		}
+	} else {
+		if t.failed != nil {
+			t.failed.Inc()
+		}
+		if t.o.Metrics != nil {
+			t.o.Metrics.Counter("sparseorder_matrix_failures_total",
+				"terminal matrix failures by class",
+				obs.Label{Key: "class", Value: string(me.Class)}).Inc()
+		}
+		if t.o.Events != nil {
+			t.o.Events.EmitFailure(name, string(me.Class), firstLine(me.Error()))
+		}
+	}
+	t.o.Progress.FinishMatrix(worker, me == nil)
+}
+
+// runEnd marks the run complete in the progress view.
+func (t runTelemetry) runEnd() {
+	if t.o == nil {
+		return
+	}
+	t.o.Progress.Finish()
+}
+
+// firstLine truncates multi-line error text (panic stacks) for event-log
+// and metrics consumption; the full text still reaches failures.txt.
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"sparseorder/internal/gen"
+	"sparseorder/internal/obs"
+)
+
+// TestRunStudyTelemetry attaches a full Obs to the runner with an injected
+// mixed-outcome eval and checks every sink: outcome counters, the
+// failure-class counter, span histograms, the progress view, and the
+// rendered /metrics families the CI smoke job asserts on.
+func TestRunStudyTelemetry(t *testing.T) {
+	ms := smallSet()
+	eval := func(ctx context.Context, m gen.Matrix, cfg Config) (*MatrixResult, error) {
+		if m.Name == "g1" {
+			return nil, &MatrixError{Name: m.Name, Err: errors.New("boom")}
+		}
+		// The matrix span must be live in ctx so nested spans link up.
+		_, sp := obs.Start(ctx, "study/ordering")
+		sp.End()
+		return &MatrixResult{Name: m.Name}, nil
+	}
+	o := &obs.Obs{Metrics: obs.NewRegistry(), Progress: obs.NewProgress()}
+	s, err := runStudy(context.Background(), Config{Workers: 2, Obs: o}, ms, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Matrices) != 3 || len(s.Failures) != 1 {
+		t.Fatalf("%d results, %d failures", len(s.Matrices), len(s.Failures))
+	}
+
+	if v := o.Metrics.Counter("sparseorder_matrices_total", "", obs.Label{Key: "outcome", Value: "done"}).Value(); v != 3 {
+		t.Errorf("done counter = %d, want 3", v)
+	}
+	if v := o.Metrics.Counter("sparseorder_matrices_total", "", obs.Label{Key: "outcome", Value: "failed"}).Value(); v != 1 {
+		t.Errorf("failed counter = %d, want 1", v)
+	}
+	if v := o.Metrics.Counter("sparseorder_matrix_failures_total", "", obs.Label{Key: "class", Value: "error"}).Value(); v != 1 {
+		t.Errorf("failure-class counter = %d, want 1", v)
+	}
+	if v := o.Metrics.Histogram("sparseorder_matrix_seconds", "", obs.DefBuckets).Count(); v != 4 {
+		t.Errorf("latency histogram count = %d, want 4", v)
+	}
+	if v := o.Metrics.Histogram(obs.SpanSecondsMetric, "", obs.DefBuckets, obs.Label{Key: "span", Value: "study/matrix"}).Count(); v != 4 {
+		t.Errorf("study/matrix span count = %d, want 4", v)
+	}
+	if v := o.Metrics.Histogram(obs.SpanSecondsMetric, "", obs.DefBuckets, obs.Label{Key: "span", Value: "study/ordering"}).Count(); v != 3 {
+		t.Errorf("study/ordering span count = %d, want 3", v)
+	}
+	if v := o.Metrics.Gauge("sparseorder_workers", "").Value(); v != 2 {
+		t.Errorf("workers gauge = %v, want 2", v)
+	}
+
+	snap := o.Progress.Snapshot()
+	if !snap.Finished || snap.Done != 3 || snap.Failed != 1 || snap.Total != 4 || snap.Queued != 0 {
+		t.Errorf("progress = %+v", snap)
+	}
+
+	var b strings.Builder
+	if err := o.Metrics.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, family := range []string{
+		"sparseorder_matrices_total",
+		"sparseorder_matrix_failures_total",
+		"sparseorder_matrix_seconds",
+		"sparseorder_span_seconds",
+		"sparseorder_workers",
+	} {
+		if !strings.Contains(out, "# TYPE "+family+" ") {
+			t.Errorf("/metrics missing family %s:\n%s", family, out)
+		}
+	}
+}
+
+// TestRunStudyFullPipelineSpans runs the real evaluation on one matrix and
+// checks the deep spans (reorder and study phases) were recorded, proving
+// the ctx threading reaches the bottom of the stack.
+func TestRunStudyFullPipelineSpans(t *testing.T) {
+	o := &obs.Obs{Metrics: obs.NewRegistry(), Progress: obs.NewProgress()}
+	ms := smallSet()[:1]
+	cfg := Config{Scale: gen.ScaleTest, Seed: 7, Workers: 1, Obs: o}
+	s, err := RunStudyMatrices(context.Background(), cfg, ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Matrices) != 1 {
+		t.Fatalf("%d results", len(s.Matrices))
+	}
+	for _, span := range []string{
+		"study/matrix", "study/ordering",
+		"reorder/graph", "reorder/order", "reorder/permute",
+		"study/estimate", "study/features", "study/fill",
+		"partition/coarsen", "partition/initial", "partition/refine",
+		"hypergraph/coarsen", "hypergraph/initial", "hypergraph/refine",
+	} {
+		h := o.Metrics.Histogram(obs.SpanSecondsMetric, "", obs.DefBuckets, obs.Label{Key: "span", Value: span})
+		if h.Count() == 0 {
+			t.Errorf("span %s never recorded", span)
+		}
+	}
+}
+
+// TestRunStudyTelemetryDisabled: with no Obs the runner must behave
+// exactly as before (the nil-telemetry path).
+func TestRunStudyTelemetryDisabled(t *testing.T) {
+	s, err := runStudy(context.Background(), Config{Workers: 2}, smallSet(),
+		func(ctx context.Context, m gen.Matrix, cfg Config) (*MatrixResult, error) {
+			return &MatrixResult{Name: m.Name}, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Matrices) != 4 {
+		t.Fatalf("%d results", len(s.Matrices))
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"sparseorder/internal/gen"
 	"sparseorder/internal/machine"
 	"sparseorder/internal/metrics"
+	"sparseorder/internal/obs"
 	"sparseorder/internal/reorder"
 	"sparseorder/internal/sparse"
 )
@@ -65,6 +66,13 @@ type Config struct {
 	// Logf receives per-matrix progress if set. RunStudy serialises calls
 	// to it, so it need not be safe for concurrent use itself.
 	Logf func(format string, args ...any)
+	// Obs, when non-nil, receives the run's telemetry: per-matrix and
+	// per-phase spans, latency histograms, failure-class counters, the
+	// live progress view and the structured event log. The runner threads
+	// it into the evaluation context (obs.NewContext), so every layer down
+	// to the partitioners reports through the same sinks. Nil keeps the
+	// entire instrumented path on its zero-allocation fast path.
+	Obs *obs.Obs
 }
 
 func (c Config) withDefaults() Config {
@@ -198,7 +206,14 @@ func EvaluateMatrixContext(ctx context.Context, m gen.Matrix, cfg Config) (*Matr
 	// Distinct GP part counts (one ordering per machine core count).
 	gpParts := map[int]sparse.Perm{}
 
+	o := obs.FromContext(ctx)
+	estimatePh := o.Phase("study/estimate")
+	featuresPh := o.Phase("study/features")
+	fillPh := o.Phase("study/fill")
+
 	evalOrdering := func(alg reorder.Algorithm, b *sparse.CSR, machines []machine.Machine) {
+		tm := estimatePh.Start()
+		defer tm.Stop()
 		for _, mc := range machines {
 			for _, k := range []machine.Kernel{machine.Kernel1D, machine.Kernel2D} {
 				e := machine.EstimateSpMV(b, mc, k)
@@ -229,9 +244,14 @@ func EvaluateMatrixContext(ctx context.Context, m gen.Matrix, cfg Config) (*Matr
 
 	// Original ordering first.
 	evalOrdering(reorder.Original, m.A, cfg.Machines)
+	tm := featuresPh.Start()
 	res.Features[reorder.Original] = metrics.ComputeWorkers(m.A, featureBlocks, featureBlocks, cfg.ReorderWorkers)
+	tm.Stop()
 	if m.SPD {
-		if fr, err := fillOf(m.A); err == nil {
+		tm = fillPh.Start()
+		fr, err := fillOf(m.A)
+		tm.Stop()
+		if err == nil {
 			res.FillRatio[reorder.Original] = fr
 		}
 	}
@@ -240,67 +260,97 @@ func EvaluateMatrixContext(ctx context.Context, m gen.Matrix, cfg Config) (*Matr
 		if err := ctx.Err(); err != nil {
 			return nil, &MatrixError{Name: m.Name, Err: err}
 		}
-		switch alg {
-		case reorder.GP:
-			// One GP ordering per distinct machine core count.
-			var phases reorder.PhaseTimings
-			for _, mc := range cfg.Machines {
-				if err := ctx.Err(); err != nil {
-					return nil, &MatrixError{Name: m.Name, Ordering: alg, Err: err}
-				}
-				p, ok := gpParts[mc.Cores]
-				if !ok {
-					var ph reorder.PhaseTimings
-					var err error
-					p, ph, err = reorder.ComputeTimedCtx(ctx, reorder.GP, m.A,
-						reorder.Options{Seed: cfg.Seed, Parts: mc.Cores, Workers: cfg.ReorderWorkers})
-					if err != nil {
-						return nil, &MatrixError{Name: m.Name, Ordering: alg, Err: err}
-					}
-					phases.GraphSeconds += ph.GraphSeconds
-					phases.OrderSeconds += ph.OrderSeconds
-					gpParts[mc.Cores] = p
-				}
-				b, err := sparse.PermuteSymmetricWorkers(m.A, p, cfg.ReorderWorkers)
+		// One span per (matrix, ordering); the reorder-phase spans started
+		// inside ApplyTimedCtx/ComputeTimedCtx nest under it via octx.
+		octx, sp := obs.Start(ctx, "study/ordering")
+		sp.SetAttr("alg", string(alg))
+		sp.SetAttr("matrix", m.Name)
+		res2, err := evalOneOrdering(octx, alg, m, cfg, res, gpParts, evalOrdering, featuresPh, fillPh)
+		sp.End()
+		if err != nil {
+			return nil, err
+		}
+		res = res2
+	}
+	return res, nil
+}
+
+// evalOneOrdering evaluates one ordering of one matrix into res; split out
+// of EvaluateMatrixContext so each ordering runs under its own span.
+func evalOneOrdering(ctx context.Context, alg reorder.Algorithm, m gen.Matrix, cfg Config,
+	res *MatrixResult, gpParts map[int]sparse.Perm,
+	evalOrdering func(reorder.Algorithm, *sparse.CSR, []machine.Machine),
+	featuresPh, fillPh obs.Phase) (*MatrixResult, error) {
+	switch alg {
+	case reorder.GP:
+		// One GP ordering per distinct machine core count.
+		var phases reorder.PhaseTimings
+		for _, mc := range cfg.Machines {
+			if err := ctx.Err(); err != nil {
+				return nil, &MatrixError{Name: m.Name, Ordering: alg, Err: err}
+			}
+			p, ok := gpParts[mc.Cores]
+			if !ok {
+				var ph reorder.PhaseTimings
+				var err error
+				p, ph, err = reorder.ComputeTimedCtx(ctx, reorder.GP, m.A,
+					reorder.Options{Seed: cfg.Seed, Parts: mc.Cores, Workers: cfg.ReorderWorkers})
 				if err != nil {
 					return nil, &MatrixError{Name: m.Name, Ordering: alg, Err: err}
 				}
-				evalOrdering(alg, b, []machine.Machine{mc})
+				phases.GraphSeconds += ph.GraphSeconds
+				phases.OrderSeconds += ph.OrderSeconds
+				gpParts[mc.Cores] = p
 			}
-			// ReorderSeconds keeps its historical meaning for GP: the cost
-			// of computing the orderings, excluding the per-machine
-			// permutation applications.
-			res.ReorderSeconds[alg] = phases.GraphSeconds + phases.OrderSeconds
-			// Features and fill use the 128-part GP ordering (or the largest
-			// evaluated) to match the HP feature blocks.
-			p := gpParts[largestCores(cfg.Machines)]
-			start := time.Now()
 			b, err := sparse.PermuteSymmetricWorkers(m.A, p, cfg.ReorderWorkers)
 			if err != nil {
 				return nil, &MatrixError{Name: m.Name, Ordering: alg, Err: err}
 			}
-			phases.PermuteSeconds = time.Since(start).Seconds()
-			res.ReorderPhases[alg] = phases
-			res.Features[alg] = metrics.ComputeWorkers(b, featureBlocks, featureBlocks, cfg.ReorderWorkers)
-			if m.SPD {
-				if fr, err := fillOf(b); err == nil {
-					res.FillRatio[alg] = fr
-				}
+			evalOrdering(alg, b, []machine.Machine{mc})
+		}
+		// ReorderSeconds keeps its historical meaning for GP: the cost
+		// of computing the orderings, excluding the per-machine
+		// permutation applications.
+		res.ReorderSeconds[alg] = phases.GraphSeconds + phases.OrderSeconds
+		// Features and fill use the 128-part GP ordering (or the largest
+		// evaluated) to match the HP feature blocks.
+		p := gpParts[largestCores(cfg.Machines)]
+		start := time.Now()
+		b, err := sparse.PermuteSymmetricWorkers(m.A, p, cfg.ReorderWorkers)
+		if err != nil {
+			return nil, &MatrixError{Name: m.Name, Ordering: alg, Err: err}
+		}
+		phases.PermuteSeconds = time.Since(start).Seconds()
+		res.ReorderPhases[alg] = phases
+		tm := featuresPh.Start()
+		res.Features[alg] = metrics.ComputeWorkers(b, featureBlocks, featureBlocks, cfg.ReorderWorkers)
+		tm.Stop()
+		if m.SPD {
+			tm = fillPh.Start()
+			fr, err := fillOf(b)
+			tm.Stop()
+			if err == nil {
+				res.FillRatio[alg] = fr
 			}
-		default:
-			b, _, ph, err := reorder.ApplyTimedCtx(ctx, alg, m.A,
-				reorder.Options{Seed: cfg.Seed, Workers: cfg.ReorderWorkers})
-			if err != nil {
-				return nil, &MatrixError{Name: m.Name, Ordering: alg, Err: err}
-			}
-			res.ReorderSeconds[alg] = ph.Total()
-			res.ReorderPhases[alg] = ph
-			evalOrdering(alg, b, cfg.Machines)
-			res.Features[alg] = metrics.ComputeWorkers(b, featureBlocks, featureBlocks, cfg.ReorderWorkers)
-			if m.SPD && alg.Symmetric() {
-				if fr, err := fillOf(b); err == nil {
-					res.FillRatio[alg] = fr
-				}
+		}
+	default:
+		b, _, ph, err := reorder.ApplyTimedCtx(ctx, alg, m.A,
+			reorder.Options{Seed: cfg.Seed, Workers: cfg.ReorderWorkers})
+		if err != nil {
+			return nil, &MatrixError{Name: m.Name, Ordering: alg, Err: err}
+		}
+		res.ReorderSeconds[alg] = ph.Total()
+		res.ReorderPhases[alg] = ph
+		evalOrdering(alg, b, cfg.Machines)
+		tm := featuresPh.Start()
+		res.Features[alg] = metrics.ComputeWorkers(b, featureBlocks, featureBlocks, cfg.ReorderWorkers)
+		tm.Stop()
+		if m.SPD && alg.Symmetric() {
+			tm = fillPh.Start()
+			fr, err := fillOf(b)
+			tm.Stop()
+			if err == nil {
+				res.FillRatio[alg] = fr
 			}
 		}
 	}

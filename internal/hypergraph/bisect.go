@@ -3,6 +3,7 @@ package hypergraph
 import (
 	"math/rand"
 
+	"sparseorder/internal/obs"
 	"sparseorder/internal/par"
 )
 
@@ -20,6 +21,11 @@ type Options struct {
 	// so and surface the context's error instead. A nil channel never
 	// cancels, and an uncancelled run is byte-identical either way.
 	Cancel <-chan struct{}
+	// Obs, when non-nil, receives per-level phase timings from every
+	// bisection as hypergraph/coarsen, hypergraph/initial and
+	// hypergraph/refine duration histograms (metrics only, no event-log
+	// traffic). Nil disables timing entirely.
+	Obs *obs.Obs
 }
 
 func (o Options) withDefaults() Options {
@@ -46,15 +52,21 @@ func Bisect(h *Hypergraph, frac float64, opts Options, rng *rand.Rand) []uint8 {
 	if h.V == 0 {
 		return nil
 	}
+	tm := opts.Obs.Phase("hypergraph/coarsen").Start()
 	levels := coarsen(h, opts.CoarsenTo, rng, opts.Cancel)
+	tm.Stop()
 	coarsest := h
 	if len(levels) > 0 {
 		coarsest = levels[len(levels)-1].coarse
 	}
+	tm = opts.Obs.Phase("hypergraph/initial").Start()
 	side := initialBisection(coarsest, frac, opts, rng)
+	tm.Stop()
+	tm = opts.Obs.Phase("hypergraph/refine").Start()
 	fmRefine(coarsest, side, frac, opts)
 	for i := len(levels) - 1; i >= 0; i-- {
 		if par.Canceled(opts.Cancel) {
+			tm.Stop()
 			return make([]uint8, h.V)
 		}
 		lv := levels[i]
@@ -65,6 +77,7 @@ func Bisect(h *Hypergraph, frac float64, opts Options, rng *rand.Rand) []uint8 {
 		side = fineSide
 		fmRefine(lv.fine, side, frac, opts)
 	}
+	tm.Stop()
 	if len(side) != h.V {
 		// Cancelled before uncoarsening finished: return a well-formed (all
 		// zero) assignment; the caller discards it once it observes Cancel.

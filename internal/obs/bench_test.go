@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"context"
+	"testing"
+)
+
+// BenchmarkObsDisabled measures the instrumentation's disabled path — the
+// cost every plain (no -http/-events) run pays at each call site. The
+// acceptance bar: zero allocations and single-digit nanoseconds, which
+// bounds the whole-pipeline regression far below the 1% budget recorded in
+// BENCH_obs.json.
+func BenchmarkObsDisabled(b *testing.B) {
+	ctx := context.Background()
+	b.Run("span", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_, sp := Start(ctx, "bench/span")
+			sp.SetAttr("k", "v")
+			sp.End()
+		}
+	})
+	b.Run("phase", func(b *testing.B) {
+		b.ReportAllocs()
+		var ph Phase
+		for i := 0; i < b.N; i++ {
+			ph.Start().Stop()
+		}
+	})
+	b.Run("from_context", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			FromContext(ctx).Phase("p")
+		}
+	})
+}
+
+// BenchmarkObsEnabled is the live-registry contrast: what a run with
+// -http attached pays per span and per phase observation.
+func BenchmarkObsEnabled(b *testing.B) {
+	o := &Obs{Metrics: NewRegistry()}
+	ctx := NewContext(context.Background(), o)
+	b.Run("span", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_, sp := Start(ctx, "bench/span")
+			sp.End()
+		}
+	})
+	b.Run("phase", func(b *testing.B) {
+		b.ReportAllocs()
+		ph := o.Phase("bench/phase")
+		for i := 0; i < b.N; i++ {
+			ph.Start().Stop()
+		}
+	})
+}

@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"sync"
+	"time"
+)
+
+// Event is one structured line of the JSONL event log.
+type Event struct {
+	// Time is RFC3339Nano wall-clock time of the event.
+	Time string `json:"t"`
+	// Ev is the event kind: run_start, span_start, span_end, failure, log,
+	// run_end.
+	Ev string `json:"ev"`
+	// Name is the span name for span events.
+	Name string `json:"name,omitempty"`
+	// ID and Parent correlate span_start/span_end pairs and the hierarchy.
+	ID     uint64 `json:"id,omitempty"`
+	Parent uint64 `json:"parent,omitempty"`
+	// Seconds is the span duration (span_end) or elapsed run time.
+	Seconds float64 `json:"seconds,omitempty"`
+	// Level and Msg carry mirrored log lines and failure descriptions.
+	Level string `json:"level,omitempty"`
+	Msg   string `json:"msg,omitempty"`
+	// Worker is the worker id for worker-scoped events (-1 when absent is
+	// omitted).
+	Worker *int `json:"worker,omitempty"`
+	// Attrs are the span attributes (matrix, algorithm, class, …).
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// EventLog is an append-only JSONL sink for span and failure events. Its
+// append discipline mirrors fsutil.WriteFileAtomic's torn-write rule at
+// line granularity: each event is marshalled fully, then written to the
+// O_APPEND file as one Write under the mutex, so concurrent emitters never
+// interleave bytes and a crash can truncate at most the final line — which
+// any JSONL reader skips. Close fsyncs; individual events are not fsynced
+// (the event log is a diagnostic trace, not the durability journal).
+type EventLog struct {
+	mu  sync.Mutex
+	f   *os.File
+	err error // first write error; later emits become no-ops
+}
+
+// OpenEventLog opens (creating or appending to) the JSONL event log at
+// path and records a run_start event.
+func OpenEventLog(path string) (*EventLog, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	e := &EventLog{f: f}
+	e.Emit(Event{Ev: "run_start"})
+	return e, nil
+}
+
+// Emit appends one event. Event.Time is stamped here if unset. Emit is
+// safe for concurrent use and never blocks on fsync; after a write error
+// the log goes quiet rather than failing the run.
+func (e *EventLog) Emit(ev Event) {
+	if e == nil {
+		return
+	}
+	if ev.Time == "" {
+		ev.Time = time.Now().Format(time.RFC3339Nano)
+	}
+	line, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	line = append(line, '\n')
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.err != nil || e.f == nil {
+		return
+	}
+	if _, err := e.f.Write(line); err != nil {
+		e.err = err
+	}
+}
+
+// Err returns the first write error, if any.
+func (e *EventLog) Err() error {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
+}
+
+// Close records a run_end event, fsyncs and closes the file.
+func (e *EventLog) Close() error {
+	if e == nil {
+		return nil
+	}
+	e.Emit(Event{Ev: "run_end"})
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.f == nil {
+		return e.err
+	}
+	serr := e.f.Sync()
+	cerr := e.f.Close()
+	e.f = nil
+	switch {
+	case e.err != nil:
+		return e.err
+	case serr != nil:
+		return serr
+	default:
+		return cerr
+	}
+}
+
+func (e *EventLog) emitSpanStart(s *Span) {
+	e.Emit(Event{Ev: "span_start", Name: s.name, ID: s.id, Parent: s.parent})
+}
+
+func (e *EventLog) emitSpanEnd(s *Span, seconds float64) {
+	ev := Event{Ev: "span_end", Name: s.name, ID: s.id, Parent: s.parent, Seconds: seconds}
+	if s.nattrs > 0 {
+		ev.Attrs = make(map[string]string, s.nattrs)
+		for _, l := range s.attrs[:s.nattrs] {
+			ev.Attrs[l.Key] = l.Value
+		}
+	}
+	e.Emit(ev)
+}
+
+func (e *EventLog) emitLog(level Level, msg string, worker int) {
+	ev := Event{Ev: "log", Level: level.String(), Msg: msg}
+	if worker >= 0 {
+		ev.Worker = &worker
+	}
+	e.Emit(ev)
+}
+
+// EmitFailure records a failure event: name identifies the failed unit
+// (matrix), class the failure class, msg the first line of the error.
+func (e *EventLog) EmitFailure(name, class, msg string) {
+	if e == nil {
+		return
+	}
+	e.Emit(Event{Ev: "failure", Name: name, Level: "error", Msg: msg,
+		Attrs: map[string]string{"class": class}})
+}

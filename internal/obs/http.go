@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler returns the live status endpoint for o:
+//
+//	/            index listing the endpoints
+//	/metrics     Prometheus text exposition of o.Metrics
+//	/progress    JSON ProgressSnapshot of o.Progress
+//	/debug/vars  expvar (memstats, cmdline)
+//	/debug/pprof/…  the full runtime/pprof surface (heap, goroutine,
+//	             profile, trace, …)
+//
+// The handler is safe to serve while a study is running; every view reads
+// through the same atomics/mutexes the instrumentation writes.
+func (o *Obs) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, "sparseorder study live endpoint\n\n"+
+			"/metrics      Prometheus metrics\n"+
+			"/progress     JSON progress view\n"+
+			"/debug/vars   expvar\n"+
+			"/debug/pprof/ profiling\n")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if o != nil && o.Metrics != nil {
+			o.Metrics.WritePrometheus(w)
+		}
+	})
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		var snap ProgressSnapshot
+		if o != nil {
+			snap = o.Progress.Snapshot()
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(snap)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts the live endpoint on addr (e.g. ":8080" or
+// "127.0.0.1:8080"). It returns once the listener is bound — so a bad
+// address fails fast, before the study starts — and serves in a background
+// goroutine until the server is Closed. The bound address is returned for
+// logging (useful with ":0").
+func Serve(addr string, o *Obs) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	srv := &http.Server{Handler: o.Handler()}
+	go srv.Serve(ln)
+	return srv, ln.Addr().String(), nil
+}

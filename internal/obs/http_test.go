@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, h http.Handler, path string) (*http.Response, string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	res := rec.Result()
+	body, _ := io.ReadAll(res.Body)
+	return res, string(body)
+}
+
+// TestHandlerEndpoints exercises the full endpoint surface the CI smoke
+// job curls.
+func TestHandlerEndpoints(t *testing.T) {
+	o := &Obs{Metrics: NewRegistry(), Progress: NewProgress()}
+	o.Metrics.Counter("sparseorder_matrices_total", "m", Label{"outcome", "done"}).Inc()
+	o.Progress.SetTotal(3, 0)
+	o.Progress.StartMatrix(0, "g0")
+	h := o.Handler()
+
+	res, body := get(t, h, "/")
+	if res.StatusCode != 200 || !strings.Contains(body, "/metrics") {
+		t.Errorf("index: status %d body %q", res.StatusCode, body)
+	}
+	if res, _ := get(t, h, "/nope"); res.StatusCode != 404 {
+		t.Errorf("unknown path: status %d, want 404", res.StatusCode)
+	}
+
+	res, body = get(t, h, "/metrics")
+	if res.StatusCode != 200 {
+		t.Fatalf("/metrics status %d", res.StatusCode)
+	}
+	if ct := res.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("/metrics content-type %q", ct)
+	}
+	if !strings.Contains(body, `sparseorder_matrices_total{outcome="done"} 1`) {
+		t.Errorf("/metrics body missing counter:\n%s", body)
+	}
+
+	res, body = get(t, h, "/progress")
+	if res.StatusCode != 200 {
+		t.Fatalf("/progress status %d", res.StatusCode)
+	}
+	var snap ProgressSnapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/progress not JSON: %v\n%s", err, body)
+	}
+	if snap.Total != 3 || len(snap.Running) != 1 || snap.Running[0].Matrix != "g0" {
+		t.Errorf("/progress snapshot = %+v", snap)
+	}
+
+	if res, _ := get(t, h, "/debug/vars"); res.StatusCode != 200 {
+		t.Errorf("/debug/vars status %d", res.StatusCode)
+	}
+	if res, _ := get(t, h, "/debug/pprof/"); res.StatusCode != 200 {
+		t.Errorf("/debug/pprof/ status %d", res.StatusCode)
+	}
+	if res, _ := get(t, h, "/debug/pprof/cmdline"); res.StatusCode != 200 {
+		t.Errorf("/debug/pprof/cmdline status %d", res.StatusCode)
+	}
+}
+
+// TestHandlerNilSinks: the endpoint must serve (empty) views even when a
+// sink is missing rather than panic.
+func TestHandlerNilSinks(t *testing.T) {
+	h := (&Obs{}).Handler()
+	if res, _ := get(t, h, "/metrics"); res.StatusCode != 200 {
+		t.Errorf("/metrics with nil registry: status %d", res.StatusCode)
+	}
+	res, body := get(t, h, "/progress")
+	if res.StatusCode != 200 {
+		t.Errorf("/progress with nil progress: status %d", res.StatusCode)
+	}
+	var snap ProgressSnapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Errorf("/progress not JSON: %v", err)
+	}
+}
+
+// TestServeBindsAndServes starts a real listener on an ephemeral port,
+// fetches /metrics over TCP and shuts down.
+func TestServeBindsAndServes(t *testing.T) {
+	o := &Obs{Metrics: NewRegistry()}
+	o.Metrics.Gauge("sparseorder_workers", "w").Set(2)
+	srv, addr, err := Serve("127.0.0.1:0", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	res, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	if res.StatusCode != 200 || !strings.Contains(string(body), "sparseorder_workers 2") {
+		t.Errorf("status %d body:\n%s", res.StatusCode, body)
+	}
+}
+
+// TestServeBadAddressFailsFast: a malformed address must error before any
+// study work starts, not asynchronously.
+func TestServeBadAddressFailsFast(t *testing.T) {
+	if _, _, err := Serve("definitely:not:an:addr", nil); err == nil {
+		t.Error("bad address did not fail")
+	}
+}

@@ -1,0 +1,200 @@
+// Package obs is the study's stdlib-only observability layer: hierarchical
+// span tracing, an aggregated metrics registry with Prometheus text export,
+// a leveled structured logger, a JSONL event log, and a live progress view,
+// all served over an optional HTTP endpoint (see Handler).
+//
+// The package is built around one invariant: when no *Obs is attached —
+// the common case for library users and for every hot loop in a study run
+// without -http/-events — instrumentation must cost nothing. Every entry
+// point is nil-receiver safe, Start returns the context unchanged and a nil
+// span, and the whole disabled path performs zero heap allocations
+// (verified by BenchmarkObsDisabled and TestDisabledPathZeroAlloc).
+package obs
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// Obs bundles the observability sinks for one run. Any field may be nil;
+// instrumented code never has to check which sinks are attached.
+type Obs struct {
+	// Metrics receives span durations (as sparseorder_span_seconds
+	// histogram observations) and whatever counters/gauges instrumented
+	// code registers.
+	Metrics *Registry
+	// Events receives span_start/span_end and failure events as JSONL.
+	Events *EventLog
+	// Log is the structured leveled logger; instrumented code may emit
+	// through it instead of carrying its own log function.
+	Log *Logger
+	// Progress is the live matrices done/queued/failed view served by the
+	// HTTP endpoint.
+	Progress *Progress
+}
+
+// ctxKey is the context key type for both the Obs and the current span.
+type ctxKey int
+
+const (
+	obsKey ctxKey = iota
+	spanKey
+)
+
+// NewContext returns a context carrying o; Start and FromContext on the
+// returned context observe it. A nil o returns ctx unchanged.
+func NewContext(ctx context.Context, o *Obs) context.Context {
+	if o == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, obsKey, o)
+}
+
+// FromContext returns the Obs attached by NewContext, or nil. The nil
+// result is usable: every method of a nil *Obs is a no-op.
+func FromContext(ctx context.Context) *Obs {
+	o, _ := ctx.Value(obsKey).(*Obs)
+	return o
+}
+
+// spanID is the process-wide span id source; ids only need to be unique
+// within one run so span_start/span_end event pairs can be correlated.
+var spanID atomic.Uint64
+
+// Span is one timed operation. A nil *Span (the disabled path) accepts
+// every method as a no-op, so callers never branch on whether tracing is
+// attached.
+type Span struct {
+	obs    *Obs
+	name   string
+	id     uint64
+	parent uint64
+	start  time.Time
+	// attrs is inline storage for the few labels a span carries (worker,
+	// matrix, algorithm); nattrs counts the used slots. Overflow attrs are
+	// dropped rather than spilled to a heap slice.
+	attrs  [4]Label
+	nattrs int
+}
+
+// Label is one key/value annotation on a span or metric series.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// Start begins a span named name as a child of the span in ctx (if any),
+// returning a derived context carrying the new span. When ctx holds no Obs
+// it returns ctx unchanged and a nil span: the disabled path allocates
+// nothing.
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	o := FromContext(ctx)
+	if o == nil {
+		return ctx, nil
+	}
+	var parent uint64
+	if ps, _ := ctx.Value(spanKey).(*Span); ps != nil {
+		parent = ps.id
+	}
+	s := o.newSpan(name, parent)
+	return context.WithValue(ctx, spanKey, s), s
+}
+
+// Span begins a detached span (no parent linkage) on o. It is the
+// ctx-free variant of Start for call sites that already hold the Obs; a
+// nil receiver returns a nil span.
+func (o *Obs) Span(name string) *Span {
+	if o == nil {
+		return nil
+	}
+	return o.newSpan(name, 0)
+}
+
+func (o *Obs) newSpan(name string, parent uint64) *Span {
+	s := &Span{obs: o, name: name, id: spanID.Add(1), parent: parent, start: time.Now()}
+	if o.Events != nil {
+		o.Events.emitSpanStart(s)
+	}
+	return s
+}
+
+// SetAttr annotates the span. At most four attributes are kept; later ones
+// are dropped. No-op on a nil span.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil || s.nattrs == len(s.attrs) {
+		return
+	}
+	s.attrs[s.nattrs] = Label{key, value}
+	s.nattrs++
+}
+
+// End closes the span: the duration is observed into the metrics registry
+// (histogram sparseorder_span_seconds{span=name}) and a span_end event is
+// emitted. No-op on a nil span; calling End twice records twice, so don't.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	sec := time.Since(s.start).Seconds()
+	if r := s.obs.Metrics; r != nil {
+		r.Histogram(SpanSecondsMetric, "span duration by span name", DefBuckets,
+			Label{"span", s.name}).Observe(sec)
+	}
+	if e := s.obs.Events; e != nil {
+		e.emitSpanEnd(s, sec)
+	}
+}
+
+// SpanSecondsMetric is the histogram family every span duration lands in.
+const SpanSecondsMetric = "sparseorder_span_seconds"
+
+// Phase is a pre-resolved histogram handle for a fine-grained recurring
+// phase (e.g. one coarsening pass of one bisection). Observations go to
+// the metrics registry only — no per-observation event-log line — so inner
+// loops can record hundreds of timings per matrix without flooding the
+// event log. The zero Phase (and any Phase from a nil Obs) is disabled.
+type Phase struct {
+	h *Histogram
+}
+
+// Phase resolves the histogram for a recurring phase, nil-receiver safe.
+func (o *Obs) Phase(name string) Phase {
+	if o == nil || o.Metrics == nil {
+		return Phase{}
+	}
+	return Phase{h: o.Metrics.Histogram(SpanSecondsMetric,
+		"span duration by span name", DefBuckets, Label{"span", name})}
+}
+
+// Enabled reports whether observations will be recorded.
+func (p Phase) Enabled() bool { return p.h != nil }
+
+// Observe records one duration in seconds; no-op when disabled.
+func (p Phase) Observe(seconds float64) {
+	if p.h != nil {
+		p.h.Observe(seconds)
+	}
+}
+
+// Timing is an in-flight Phase measurement; it is returned by value so the
+// Start/Stop pair allocates nothing.
+type Timing struct {
+	ph Phase
+	t0 time.Time
+}
+
+// Start begins timing; on a disabled phase it does not even read the clock.
+func (p Phase) Start() Timing {
+	if p.h == nil {
+		return Timing{}
+	}
+	return Timing{ph: p, t0: time.Now()}
+}
+
+// Stop records the elapsed time; no-op for a Timing from a disabled phase.
+func (t Timing) Stop() {
+	if t.ph.h != nil {
+		t.ph.h.Observe(time.Since(t.t0).Seconds())
+	}
+}

@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// readEvents parses every JSONL line of the event log at path.
+func readEvents(t *testing.T, path string) []Event {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var out []Event
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad event line %q: %v", sc.Text(), err)
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestSpanHierarchyAndEvents checks the tentpole wiring end to end: nested
+// spans carry parent linkage into the event log, attributes survive, and
+// durations land in the sparseorder_span_seconds histogram.
+func TestSpanHierarchyAndEvents(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	ev, err := OpenEventLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := &Obs{Metrics: NewRegistry(), Events: ev}
+	ctx := NewContext(context.Background(), o)
+
+	ctx1, outer := Start(ctx, "outer")
+	outer.SetAttr("matrix", "g0")
+	_, inner := Start(ctx1, "inner")
+	inner.End()
+	outer.End()
+	if err := ev.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	events := readEvents(t, path)
+	if len(events) != 6 { // run_start, 2×span_start, 2×span_end, run_end
+		t.Fatalf("%d events, want 6: %+v", len(events), events)
+	}
+	if events[0].Ev != "run_start" || events[len(events)-1].Ev != "run_end" {
+		t.Errorf("missing run_start/run_end framing: %+v", events)
+	}
+	byName := map[string]map[string]Event{}
+	for _, e := range events {
+		if e.Name == "" {
+			continue
+		}
+		if byName[e.Name] == nil {
+			byName[e.Name] = map[string]Event{}
+		}
+		byName[e.Name][e.Ev] = e
+	}
+	os, is := byName["outer"]["span_start"], byName["inner"]["span_start"]
+	if is.Parent != os.ID {
+		t.Errorf("inner parent = %d, want outer id %d", is.Parent, os.ID)
+	}
+	if os.Parent != 0 {
+		t.Errorf("outer parent = %d, want 0 (root)", os.Parent)
+	}
+	oe := byName["outer"]["span_end"]
+	if oe.ID != os.ID || oe.Attrs["matrix"] != "g0" || oe.Seconds < 0 {
+		t.Errorf("outer span_end = %+v", oe)
+	}
+
+	for _, name := range []string{"outer", "inner"} {
+		h := o.Metrics.Histogram(SpanSecondsMetric, "", DefBuckets, Label{"span", name})
+		if h.Count() != 1 {
+			t.Errorf("span %s: histogram count %d, want 1", name, h.Count())
+		}
+	}
+}
+
+// TestStartWithoutObsReturnsSameContext pins the disabled contract: the
+// context is returned unchanged (no derived allocation) and the span is nil.
+func TestStartWithoutObsReturnsSameContext(t *testing.T) {
+	ctx := context.Background()
+	got, sp := Start(ctx, "x")
+	if got != ctx {
+		t.Error("Start without Obs derived a new context")
+	}
+	if sp != nil {
+		t.Error("Start without Obs returned a non-nil span")
+	}
+	sp.SetAttr("k", "v") // must not panic
+	sp.End()
+}
+
+// TestDisabledPathZeroAlloc is the acceptance gate: with no Obs attached,
+// the whole instrumentation surface allocates nothing.
+func TestDisabledPathZeroAlloc(t *testing.T) {
+	ctx := context.Background()
+	var ph Phase
+	var lg *Logger
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"span", func() {
+			_, sp := Start(ctx, "bench")
+			sp.SetAttr("k", "v")
+			sp.End()
+		}},
+		{"phase", func() { ph.Start().Stop() }},
+		{"phase_observe", func() { ph.Observe(0.5) }},
+		{"from_context", func() { FromContext(ctx).Phase("p") }},
+		{"nil_logger", func() { lg.Infof("x %d", 1) }},
+		{"nil_obs_span", func() { (*Obs)(nil).Span("s").End() }},
+	}
+	for _, c := range cases {
+		if n := testing.AllocsPerRun(100, c.fn); n != 0 {
+			t.Errorf("%s: %v allocs/op on the disabled path, want 0", c.name, n)
+		}
+	}
+}
+
+// TestSetAttrOverflow checks attrs beyond the inline capacity are dropped,
+// not spilled (the hot path must not grow a slice).
+func TestSetAttrOverflow(t *testing.T) {
+	o := &Obs{Metrics: NewRegistry()}
+	sp := o.Span("s")
+	for i := 0; i < 6; i++ {
+		sp.SetAttr(string(rune('a'+i)), "v")
+	}
+	if sp.nattrs != len(sp.attrs) {
+		t.Errorf("nattrs = %d, want %d", sp.nattrs, len(sp.attrs))
+	}
+	sp.End()
+}
+
+// TestPhaseRecordsIntoSpanHistogram checks Phase observations share the
+// span-seconds family, keyed by the span label.
+func TestPhaseRecordsIntoSpanHistogram(t *testing.T) {
+	o := &Obs{Metrics: NewRegistry()}
+	ph := o.Phase("partition/coarsen")
+	if !ph.Enabled() {
+		t.Fatal("phase on live registry not enabled")
+	}
+	tm := ph.Start()
+	time.Sleep(time.Millisecond)
+	tm.Stop()
+	ph.Observe(2)
+	h := o.Metrics.Histogram(SpanSecondsMetric, "", DefBuckets, Label{"span", "partition/coarsen"})
+	if h.Count() != 2 {
+		t.Errorf("count = %d, want 2", h.Count())
+	}
+	if h.Sum() <= 2 {
+		t.Errorf("sum = %v, want > 2", h.Sum())
+	}
+}
+
+// TestNilSafety drives every sink method through nil receivers.
+func TestNilSafety(t *testing.T) {
+	var o *Obs
+	var p *Progress
+	var e *EventLog
+	var prof *Profiles
+	o.Span("x").End()
+	o.Phase("x").Start().Stop()
+	p.SetTotal(1, 0)
+	p.StartMatrix(0, "m")
+	p.FinishMatrix(0, true)
+	p.Finish()
+	if s := p.Snapshot(); s.Total != 0 {
+		t.Errorf("nil progress snapshot = %+v", s)
+	}
+	e.Emit(Event{Ev: "x"})
+	e.EmitFailure("m", "error", "boom")
+	if err := e.Close(); err != nil {
+		t.Errorf("nil event log Close: %v", err)
+	}
+	if err := prof.Stop(); err != nil {
+		t.Errorf("nil profiles Stop: %v", err)
+	}
+	if NewContext(context.Background(), nil) != context.Background() {
+		t.Error("NewContext(nil) derived a context")
+	}
+}

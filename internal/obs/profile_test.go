@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestStartProfilesWritesFiles runs the full cpu+mem+trace set and checks
+// every file is non-empty after Stop — the contract the commands rely on
+// for every exit path.
+func TestStartProfilesWritesFiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	tr := filepath.Join(dir, "trace.out")
+	p, err := StartProfiles(cpu, mem, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has something to say.
+	x := 0.0
+	for i := 0; i < 1e6; i++ {
+		x += float64(i)
+	}
+	_ = x
+	if err := p.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{cpu, mem, tr} {
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s: empty after Stop", path)
+		}
+	}
+	if err := p.Stop(); err != nil {
+		t.Errorf("second Stop: %v", err)
+	}
+}
+
+// TestStartProfilesDisabled: empty paths are a fully inert Profiles.
+func TestStartProfilesDisabled(t *testing.T) {
+	p, err := StartProfiles("", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStartProfilesBadPath: an unwritable CPU path fails fast with nothing
+// left running (a second StartProfiles must succeed).
+func TestStartProfilesBadPath(t *testing.T) {
+	if _, err := StartProfiles(filepath.Join(t.TempDir(), "no", "such", "dir", "cpu"), "", ""); err == nil {
+		t.Fatal("bad cpu path did not fail")
+	}
+	p, err := StartProfiles("", "", "")
+	if err != nil {
+		t.Fatalf("profiling left running after failed start: %v", err)
+	}
+	p.Stop()
+}

@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Progress tracks the live state of a study run: how many matrices are
+// done, failed and queued, what each worker is evaluating right now, and
+// a naive rate-based ETA. All methods are nil-receiver safe so the runner
+// can thread a possibly-nil pointer without branching.
+type Progress struct {
+	mu        sync.Mutex
+	total     int
+	journaled int
+	done      int
+	failed    int
+	start     time.Time
+	finished  bool
+	workers   map[int]workerState
+}
+
+type workerState struct {
+	matrix string
+	since  time.Time
+}
+
+// NewProgress returns a Progress; the clock starts immediately.
+func NewProgress() *Progress {
+	return &Progress{start: time.Now(), workers: map[int]workerState{}}
+}
+
+// SetTotal records the number of matrices this run will evaluate and how
+// many were pre-filled from a resume journal (already counted as done).
+func (p *Progress) SetTotal(pending, journaled int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.total = pending
+	p.journaled = journaled
+	p.mu.Unlock()
+}
+
+// StartMatrix marks worker as evaluating the named matrix.
+func (p *Progress) StartMatrix(worker int, matrix string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.workers[worker] = workerState{matrix: matrix, since: time.Now()}
+	p.mu.Unlock()
+}
+
+// FinishMatrix marks the worker idle and counts the outcome.
+func (p *Progress) FinishMatrix(worker int, ok bool) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	delete(p.workers, worker)
+	if ok {
+		p.done++
+	} else {
+		p.failed++
+	}
+	p.mu.Unlock()
+}
+
+// Finish marks the whole run complete (workers drained).
+func (p *Progress) Finish() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.finished = true
+	p.mu.Unlock()
+}
+
+// WorkerProgress is one worker's live state in a Snapshot.
+type WorkerProgress struct {
+	Worker  int     `json:"worker"`
+	Matrix  string  `json:"matrix"`
+	Seconds float64 `json:"seconds"` // time spent on this matrix so far
+}
+
+// ProgressSnapshot is the JSON progress view served at /progress.
+type ProgressSnapshot struct {
+	Total          int              `json:"total"`  // matrices this run evaluates
+	Done           int              `json:"done"`   // successful, this run
+	Failed         int              `json:"failed"` // terminal failures, this run
+	Queued         int              `json:"queued"` // not yet started
+	Running        []WorkerProgress `json:"running"`
+	Journaled      int              `json:"journaled"` // pre-filled by -resume
+	ElapsedSeconds float64          `json:"elapsed_seconds"`
+	ETASeconds     float64          `json:"eta_seconds,omitempty"` // 0 until one matrix lands
+	Finished       bool             `json:"finished"`
+}
+
+// Snapshot returns a consistent copy of the live state.
+func (p *Progress) Snapshot() ProgressSnapshot {
+	if p == nil {
+		return ProgressSnapshot{}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	now := time.Now()
+	s := ProgressSnapshot{
+		Total:          p.total,
+		Done:           p.done,
+		Failed:         p.failed,
+		Journaled:      p.journaled,
+		ElapsedSeconds: now.Sub(p.start).Seconds(),
+		Finished:       p.finished,
+	}
+	for w, st := range p.workers {
+		s.Running = append(s.Running, WorkerProgress{Worker: w, Matrix: st.matrix, Seconds: now.Sub(st.since).Seconds()})
+	}
+	sort.Slice(s.Running, func(i, j int) bool { return s.Running[i].Worker < s.Running[j].Worker })
+	s.Queued = s.Total - s.Done - s.Failed - len(s.Running)
+	if s.Queued < 0 {
+		s.Queued = 0
+	}
+	if completed := s.Done + s.Failed; completed > 0 && !s.Finished {
+		remaining := s.Total - completed
+		if remaining > 0 {
+			s.ETASeconds = s.ElapsedSeconds / float64(completed) * float64(remaining)
+		}
+	}
+	return s
+}

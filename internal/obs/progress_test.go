@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// TestProgressLifecycle walks a two-worker run through the snapshot states
+// the /progress endpoint serves.
+func TestProgressLifecycle(t *testing.T) {
+	p := NewProgress()
+	p.SetTotal(4, 2)
+
+	p.StartMatrix(0, "a")
+	p.StartMatrix(1, "b")
+	s := p.Snapshot()
+	if s.Total != 4 || s.Journaled != 2 || s.Done != 0 || s.Failed != 0 {
+		t.Errorf("snapshot = %+v", s)
+	}
+	if len(s.Running) != 2 || s.Running[0].Worker != 0 || s.Running[0].Matrix != "a" ||
+		s.Running[1].Worker != 1 || s.Running[1].Matrix != "b" {
+		t.Errorf("running = %+v (must be sorted by worker)", s.Running)
+	}
+	if s.Queued != 2 {
+		t.Errorf("queued = %d, want 2", s.Queued)
+	}
+	if s.ETASeconds != 0 {
+		t.Errorf("ETA before any completion = %v, want 0", s.ETASeconds)
+	}
+
+	time.Sleep(2 * time.Millisecond) // give rate-based ETA a nonzero base
+	p.FinishMatrix(0, true)
+	p.FinishMatrix(1, false)
+	s = p.Snapshot()
+	if s.Done != 1 || s.Failed != 1 || len(s.Running) != 0 || s.Queued != 2 {
+		t.Errorf("snapshot = %+v", s)
+	}
+	if s.ETASeconds <= 0 {
+		t.Errorf("ETA with work remaining = %v, want > 0", s.ETASeconds)
+	}
+	if s.ElapsedSeconds <= 0 {
+		t.Errorf("elapsed = %v", s.ElapsedSeconds)
+	}
+
+	p.StartMatrix(0, "c")
+	p.FinishMatrix(0, true)
+	p.StartMatrix(1, "d")
+	p.FinishMatrix(1, true)
+	p.Finish()
+	s = p.Snapshot()
+	if !s.Finished || s.Done != 3 || s.Failed != 1 || s.Queued != 0 {
+		t.Errorf("final snapshot = %+v", s)
+	}
+	if s.ETASeconds != 0 {
+		t.Errorf("ETA after finish = %v, want 0", s.ETASeconds)
+	}
+}
+
+// TestProgressQueuedNeverNegative: more completions than the declared
+// total (possible during resume bookkeeping races) must clamp at 0.
+func TestProgressQueuedNeverNegative(t *testing.T) {
+	p := NewProgress()
+	p.SetTotal(1, 0)
+	p.StartMatrix(0, "a")
+	p.FinishMatrix(0, true)
+	p.StartMatrix(0, "b")
+	p.FinishMatrix(0, true)
+	if s := p.Snapshot(); s.Queued != 0 {
+		t.Errorf("queued = %d, want 0", s.Queued)
+	}
+}

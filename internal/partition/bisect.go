@@ -9,21 +9,29 @@ import (
 
 // Bisect splits g into two sides, with side 0 receiving roughly frac of
 // the total vertex weight, using the full multilevel scheme. It returns
-// side[v] ∈ {0, 1} for every vertex.
+// side[v] ∈ {0, 1} for every vertex. With Options.Obs set, the three
+// multilevel phases of this bisection land in the partition/coarsen,
+// partition/initial and partition/refine duration histograms.
 func Bisect(g *graph.Graph, frac float64, opts Options, rng *rand.Rand) []uint8 {
 	opts = opts.withDefaults()
 	if g.N == 0 {
 		return nil
 	}
+	tm := opts.Obs.Phase("partition/coarsen").Start()
 	levels := coarsen(g, opts, rng)
+	tm.Stop()
 	coarsest := g
 	if len(levels) > 0 {
 		coarsest = levels[len(levels)-1].coarse
 	}
+	tm = opts.Obs.Phase("partition/initial").Start()
 	side := initialBisection(coarsest, frac, opts, rng)
+	tm.Stop()
+	tm = opts.Obs.Phase("partition/refine").Start()
 	fmRefine(coarsest, side, frac, opts)
 	for i := len(levels) - 1; i >= 0; i-- {
 		if par.Canceled(opts.Cancel) {
+			tm.Stop()
 			return make([]uint8, g.N)
 		}
 		lv := levels[i]
@@ -34,6 +42,7 @@ func Bisect(g *graph.Graph, frac float64, opts Options, rng *rand.Rand) []uint8 
 		side = fineSide
 		fmRefine(lv.fine, side, frac, opts)
 	}
+	tm.Stop()
 	if len(side) != g.N {
 		// Cancelled before uncoarsening finished: return a well-formed (all
 		// zero) assignment; the caller discards it once it observes Cancel.

@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"sparseorder/internal/graph"
+	"sparseorder/internal/obs"
 	"sparseorder/internal/par"
 )
 
@@ -50,6 +51,13 @@ type Options struct {
 	// the context's error instead. A nil channel never cancels, and an
 	// uncancelled run is byte-identical with or without the field set.
 	Cancel <-chan struct{}
+	// Obs, when non-nil, receives per-level phase timings from every
+	// bisection — partition/coarsen, partition/initial and
+	// partition/refine histogram observations — the multilevel breakdown
+	// of where a GP/ND ordering's time goes. Metrics only; no event-log
+	// traffic, so deep recursions stay cheap. Nil disables timing
+	// entirely (the clock is not even read).
+	Obs *obs.Obs
 }
 
 // MatchingStrategy selects how vertices are matched during coarsening.

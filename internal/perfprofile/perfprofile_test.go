@@ -61,6 +61,68 @@ func TestValueEmpty(t *testing.T) {
 	}
 }
 
+// TestValueBoundaries pins Value's step-function edges: x below the
+// smallest ratio is 0, x exactly at a ratio counts every duplicate of that
+// ratio (≤ semantics), and x just below it counts none of them.
+func TestValueBoundaries(t *testing.T) {
+	p := Profile{Method: "X", Ratios: []float64{1, 2, 2, 2, 4}}
+	cases := []struct {
+		x    float64
+		want float64
+	}{
+		{0.5, 0},        // below the minimum ratio: no problem solved
+		{1, 0.2},        // exactly the best ratio
+		{1.999999, 0.2}, // just under a duplicated ratio: none of them count
+		{2, 0.8},        // exactly at the duplicated ratio: all three count
+		{3.9, 0.8},
+		{4, 1},
+		{100, 1},
+	}
+	for _, c := range cases {
+		if v := p.Value(c.x); math.Abs(v-c.want) > 1e-12 {
+			t.Errorf("Value(%v) = %v, want %v", c.x, v, c.want)
+		}
+	}
+}
+
+// TestComputeAllZeroRow: a problem where every method costs zero is a tie
+// at ratio 1 for all methods, so the profile reaches 1 at x=1 and stays
+// there — and Value below 1 must still be 0.
+func TestComputeAllZeroRow(t *testing.T) {
+	profiles, err := Compute([]string{"A", "B", "C"}, [][]float64{{0, 0, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range profiles {
+		if v := p.Value(0.99); v != 0 {
+			t.Errorf("%s: Value(0.99) = %v, want 0", p.Method, v)
+		}
+		if v := p.Value(1); v != 1 {
+			t.Errorf("%s: Value(1) = %v, want 1", p.Method, v)
+		}
+	}
+}
+
+// TestComputeEmpty: no cost rows produce empty profiles that are 0
+// everywhere, and an empty method list is not an error.
+func TestComputeEmpty(t *testing.T) {
+	profiles, err := Compute([]string{"A", "B"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profiles) != 2 {
+		t.Fatalf("%d profiles, want 2", len(profiles))
+	}
+	for _, p := range profiles {
+		if len(p.Ratios) != 0 || p.Value(1e9) != 0 {
+			t.Errorf("%s: not empty/zero: %+v", p.Method, p)
+		}
+	}
+	if ps, err := Compute(nil, nil); err != nil || len(ps) != 0 {
+		t.Errorf("Compute(nil, nil) = %v, %v", ps, err)
+	}
+}
+
 func TestTableShape(t *testing.T) {
 	profiles, err := Compute([]string{"A", "B"}, [][]float64{{1, 2}})
 	if err != nil {

@@ -23,7 +23,7 @@ func GraphPartitionOrder(g *graph.Graph, opts Options) (sparse.Perm, error) {
 // cancellation surfaces as a partitioner error (context.Canceled).
 func graphPartitionOrder(g *graph.Graph, opts Options, done <-chan struct{}) (sparse.Perm, error) {
 	opts = opts.withDefaults()
-	part, _, err := partition.KWay(g, opts.Parts, partition.Options{Seed: opts.Seed, Cancel: done})
+	part, _, err := partition.KWay(g, opts.Parts, partition.Options{Seed: opts.Seed, Cancel: done, Obs: opts.obs})
 	if err != nil {
 		return nil, err
 	}
@@ -43,7 +43,7 @@ func HypergraphPartitionOrder(a *sparse.CSR, opts Options) (sparse.Perm, error) 
 func hypergraphPartitionOrder(a *sparse.CSR, opts Options, done <-chan struct{}) (sparse.Perm, error) {
 	opts = opts.withDefaults()
 	h := hypergraph.ColumnNet(a)
-	hopts := hypergraph.Options{Seed: opts.Seed, Cancel: done}
+	hopts := hypergraph.Options{Seed: opts.Seed, Cancel: done, Obs: opts.obs}
 	var part []int32
 	var err error
 	if opts.HPObjective == Connectivity {

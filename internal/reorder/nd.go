@@ -31,7 +31,7 @@ func nestedDissection(g *graph.Graph, opts Options, done <-chan struct{}) sparse
 	for i := range verts {
 		verts[i] = int32(i)
 	}
-	popts := partition.Options{Seed: opts.Seed, Cancel: done}
+	popts := partition.Options{Seed: opts.Seed, Cancel: done, Obs: opts.obs}
 	dissect(g, verts, opts, popts, rng, &perm)
 	return perm
 }

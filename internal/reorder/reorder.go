@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"sparseorder/internal/graph"
+	"sparseorder/internal/obs"
 	"sparseorder/internal/sparse"
 )
 
@@ -70,6 +71,12 @@ type Options struct {
 	// byte-identical at every worker count (see DESIGN.md, "Parallel
 	// reordering determinism contract").
 	Workers int
+
+	// obs is the observability sink resolved from the call context; it is
+	// threaded down to the partitioners so their coarsen/initial/refine
+	// levels report phase timings. Never set by callers — ComputeTimedCtx
+	// fills it from obs.FromContext.
+	obs *obs.Obs
 }
 
 // HPObjective names a hypergraph partitioning objective.
@@ -152,6 +159,11 @@ func ComputeTimed(alg Algorithm, a *sparse.CSR, opts Options) (sparse.Perm, Phas
 // ComputeTimedCtx is ComputeCtx reporting phase times. For a background
 // context ctx.Done() is nil and every cancellation check is a no-op, so
 // the uncancelled path is byte-identical to the historical one.
+//
+// When ctx carries an obs.Obs (obs.NewContext), each phase additionally
+// reports a span — reorder/graph and reorder/order{alg} — generalising the
+// PhaseTimings return into the run-wide tracing/metrics view. Without an
+// Obs the instrumentation is a nil check per phase and allocates nothing.
 func ComputeTimedCtx(ctx context.Context, alg Algorithm, a *sparse.CSR, opts Options) (sparse.Perm, PhaseTimings, error) {
 	var t PhaseTimings
 	if err := ctx.Err(); err != nil {
@@ -161,20 +173,30 @@ func ComputeTimedCtx(ctx context.Context, alg Algorithm, a *sparse.CSR, opts Opt
 		return nil, t, fmt.Errorf("reorder: matrix must be square, got %dx%d", a.Rows, a.Cols)
 	}
 	opts = opts.withDefaults()
+	if opts.obs == nil {
+		opts.obs = obs.FromContext(ctx)
+	}
+	o := opts.obs
 	done := ctx.Done()
 	if alg.NeedsGraph() {
+		sp := o.Span("reorder/graph")
+		sp.SetAttr("alg", string(alg))
 		start := time.Now()
 		g, err := graph.FromMatrixSymmetrizedWorkers(a, opts.Workers)
+		t.GraphSeconds = time.Since(start).Seconds()
+		sp.End()
 		if err != nil {
 			return nil, t, err
 		}
-		t.GraphSeconds = time.Since(start).Seconds()
 		if err := ctx.Err(); err != nil {
 			return nil, t, err
 		}
+		sp = o.Span("reorder/order")
+		sp.SetAttr("alg", string(alg))
 		start = time.Now()
 		p, err := orderGraph(alg, g, opts, done)
 		t.OrderSeconds = time.Since(start).Seconds()
+		sp.End()
 		if cerr := ctx.Err(); cerr != nil {
 			// The ordering bailed out early; its partial result must not
 			// escape to callers.
@@ -182,6 +204,8 @@ func ComputeTimedCtx(ctx context.Context, alg Algorithm, a *sparse.CSR, opts Opt
 		}
 		return p, t, err
 	}
+	sp := o.Span("reorder/order")
+	sp.SetAttr("alg", string(alg))
 	start := time.Now()
 	var p sparse.Perm
 	var err error
@@ -193,9 +217,11 @@ func ComputeTimedCtx(ctx context.Context, alg Algorithm, a *sparse.CSR, opts Opt
 	case Gray:
 		p = GrayOrder(a, opts)
 	default:
+		sp.End()
 		return nil, t, fmt.Errorf("reorder: unknown algorithm %q", alg)
 	}
 	t.OrderSeconds = time.Since(start).Seconds()
+	sp.End()
 	if cerr := ctx.Err(); cerr != nil {
 		return nil, t, cerr
 	}
@@ -260,6 +286,8 @@ func ApplyTimedCtx(ctx context.Context, alg Algorithm, a *sparse.CSR, opts Optio
 	if verr := p.Validate(); verr != nil {
 		return nil, nil, t, fmt.Errorf("reorder: %s produced an invalid permutation: %w", alg, verr)
 	}
+	sp := obs.FromContext(ctx).Span("reorder/permute")
+	sp.SetAttr("alg", string(alg))
 	start := time.Now()
 	var b *sparse.CSR
 	if alg.Symmetric() {
@@ -268,6 +296,7 @@ func ApplyTimedCtx(ctx context.Context, alg Algorithm, a *sparse.CSR, opts Optio
 		b, err = sparse.PermuteRowsWorkers(a, p, opts.Workers)
 	}
 	t.PermuteSeconds = time.Since(start).Seconds()
+	sp.End()
 	if err != nil {
 		return nil, nil, t, err
 	}

@@ -1,0 +1,29 @@
+package spmv
+
+import (
+	"context"
+
+	"sparseorder/internal/obs"
+	"sparseorder/internal/sparse"
+)
+
+// NewPlan2DCtx is NewPlan2D reporting the plan-construction cost as an
+// spmv/plan2d span when ctx carries an obs.Obs — plan building is a
+// per-(matrix, thread-count) setup cost callers amortise over many Mul2D
+// iterations, and the span makes that cost visible next to the kernel
+// time it amortises into. Without an Obs it is exactly NewPlan2D.
+func NewPlan2DCtx(ctx context.Context, a *sparse.CSR, threads int) (*Plan2D, error) {
+	_, sp := obs.Start(ctx, "spmv/plan2d")
+	p, err := NewPlan2D(a, threads)
+	sp.End()
+	return p, err
+}
+
+// NewPlanMergeCtx is NewPlanMerge reporting an spmv/planmerge span; see
+// NewPlan2DCtx.
+func NewPlanMergeCtx(ctx context.Context, a *sparse.CSR, threads int) (*PlanMerge, error) {
+	_, sp := obs.Start(ctx, "spmv/planmerge")
+	p, err := NewPlanMerge(a, threads)
+	sp.End()
+	return p, err
+}
