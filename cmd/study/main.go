@@ -6,8 +6,8 @@
 //	study [-exp all|fig1|fig2|fig3|fig4|fig5|fig6|table3|table4|table5|densecsr|benchreorder|benchobs|artifact]
 //	      [-scale test|study|large] [-seed N] [-out DIR] [-v]
 //	      [-workers N] [-reorder-workers N] [-timeout D]
-//	      [-checkpoint FILE] [-resume] [-retries N]
-//	      [-http ADDR] [-http-linger D] [-events FILE]
+//	      [-checkpoint FILE] [-resume] [-retries N] [-membudget SIZE]
+//	      [-http ADDR] [-http-linger D] [-events FILE] [-faults SPEC]
 //	      [-cpuprofile FILE] [-memprofile FILE] [-trace FILE]
 //
 // Matrices are evaluated concurrently by -workers workers (default
@@ -24,6 +24,22 @@
 // by an identical configuration) and skips the matrices it records, so a
 // killed run continues where it stopped and produces byte-identical
 // results. All artifact files are written atomically (temp file + rename).
+//
+// -membudget bounds the estimated working-set bytes of concurrently
+// admitted matrices: "auto" (the default) derives the budget from
+// GOMEMLIMIT when one is set (and disables the governor otherwise), "off"
+// disables it explicitly, and a size such as 512MiB or 2g sets it
+// directly. A matrix whose estimate exceeds the budget is degraded — run
+// alone with the worker pool drained — and one that cannot fit even alone
+// is skipped with failure class "resource" instead of risking the OOM
+// killer.
+//
+// -faults (default $SPARSEORDER_FAULTS) arms the deterministic
+// fault-injection harness with a spec like
+// "seed=7;reorder/order=error:0.4;journal/sync=error:1:5"; see package
+// faultinject. It exists to rehearse crash recovery: injected failures
+// exercise the same retry, journal and atomic-write paths as real ones,
+// and the per-point fired counters appear on /metrics.
 //
 // With -http, a live telemetry endpoint is served on ADDR for the
 // duration of the run: /metrics (Prometheus text format: per-phase span
@@ -48,7 +64,8 @@
 // matrices.
 //
 // Exit codes: 0 success; 1 fatal error; 2 the study completed but some
-// matrices failed; 3 the run was aborted (interrupt).
+// matrices failed; 3 the run was aborted (SIGINT or SIGTERM; both drain
+// gracefully, finalise profiles and leave a resumable checkpoint).
 package main
 
 import (
@@ -63,9 +80,11 @@ import (
 	"path/filepath"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	"sparseorder/internal/experiments"
+	"sparseorder/internal/faultinject"
 	"sparseorder/internal/fsutil"
 	"sparseorder/internal/gen"
 	"sparseorder/internal/machine"
@@ -98,6 +117,8 @@ func run() (code int) {
 	checkpoint := flag.String("checkpoint", "", "journal file recording each completed matrix for crash-safe resume")
 	resume := flag.Bool("resume", false, "resume from the -checkpoint journal, skipping matrices it records")
 	retries := flag.Int("retries", 0, "additional attempts for matrices failing by timeout or panic")
+	memBudget := flag.String("membudget", "auto", `working-set byte budget for concurrent matrices: "auto" (from GOMEMLIMIT), "off", or a size like 512MiB`)
+	faults := flag.String("faults", os.Getenv("SPARSEORDER_FAULTS"), "deterministic fault-injection spec, e.g. seed=7;reorder/order=error:0.5 (default $SPARSEORDER_FAULTS)")
 	httpAddr := flag.String("http", "", "serve /metrics, /progress and /debug/pprof on this address while the run is live")
 	httpLinger := flag.Duration("http-linger", 0, "keep the -http endpoint alive this long after the run finishes")
 	eventsPath := flag.String("events", "", "append structured JSONL span and failure events to this file")
@@ -117,11 +138,12 @@ func run() (code int) {
 
 	// The linger/close defer is registered first so it runs last: profiles
 	// and the event log are finalised before the endpoint idles, and the
-	// server stays scrapeable until the very end of the linger window.
-	var (
-		srv       *http.Server
-		lingerCtx context.Context = context.Background()
-	)
+	// server stays scrapeable until the very end of the linger window. The
+	// wait watches a dedicated signal channel, NOT the run's signal
+	// context: that context's deferred stop() runs before this defer and
+	// cancels it on every exit, which would silently skip the linger.
+	var srv *http.Server
+	sigC := make(chan os.Signal, 1)
 	defer func() {
 		if srv == nil {
 			return
@@ -130,7 +152,7 @@ func run() (code int) {
 			lg.Printf("run finished (exit %d); -http endpoint stays up for %v", code, *httpLinger)
 			select {
 			case <-time.After(*httpLinger):
-			case <-lingerCtx.Done():
+			case <-sigC: // a signal (including one that aborted the run) cuts the linger short
 			}
 		}
 		srv.Close()
@@ -173,6 +195,34 @@ func run() (code int) {
 		Retries:        *retries,
 		Logf:           lg.Infof, // level-gated: silent unless -v
 	}
+	switch *memBudget {
+	case "auto", "":
+		cfg.MemBudget = 0
+	case "off":
+		cfg.MemBudget = -1
+	default:
+		b, err := experiments.ParseByteSize(*memBudget)
+		if err != nil {
+			lg.Errorf("-membudget: %v", err)
+			return exitFatal
+		}
+		cfg.MemBudget = b
+	}
+
+	// Fault injection is armed before any instrumented code can run, so
+	// the spec covers journal creation and corpus loading too.
+	plan, err := faultinject.ParseSpec(*faults)
+	if err != nil {
+		lg.Errorf("-faults: %v", err)
+		return exitFatal
+	}
+	if plan != nil {
+		// The plan stays armed for the life of the process — never
+		// deferred-deactivated here, or the fired counters would vanish
+		// from /metrics during the -http-linger window.
+		faultinject.Activate(plan)
+		lg.Printf("fault injection armed: %s", *faults)
+	}
 
 	// The observability sinks are built only when a consumer asked for
 	// them; otherwise cfg.Obs stays nil and the instrumented stack runs on
@@ -182,6 +232,11 @@ func run() (code int) {
 			Metrics:  obs.NewRegistry(),
 			Progress: obs.NewProgress(),
 			Log:      lg,
+		}
+		if plan != nil {
+			// Fired-counter truth lives in the plan; render it at scrape
+			// time instead of mirroring every hit into registry handles.
+			o.Metrics.AddCollector(faultinject.WritePrometheus)
 		}
 		if *eventsPath != "" {
 			ev, err := obs.OpenEventLog(*eventsPath)
@@ -219,14 +274,24 @@ func run() (code int) {
 			lg.Errorf("%v", err)
 			return exitFatal
 		}
-		defer j.Close()
+		// A journal that cannot be synced and closed is not a trustworthy
+		// checkpoint, whatever the run printed: surface the error and force
+		// the fatal exit code so callers do not -resume from it blindly.
+		defer func() {
+			if cerr := j.Close(); cerr != nil {
+				lg.Errorf("%v", cerr)
+				code = exitFatal
+			}
+		}()
 		cfg.Journal = j
 	}
 
-	// Ctrl-C cancels the study; workers stop at their next checkpoint.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// Ctrl-C or SIGTERM (the shutdown signal sent by kill, timeout(1) and
+	// every container runtime) cancels the study; workers stop at their
+	// next checkpoint and the run exits 3 with a resumable journal.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	lingerCtx = ctx
+	signal.Notify(sigC, os.Interrupt, syscall.SIGTERM)
 
 	want := func(name string) bool { return *exp == "all" || *exp == name }
 

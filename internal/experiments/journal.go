@@ -8,6 +8,7 @@ import (
 	"os"
 	"sync"
 
+	"sparseorder/internal/faultinject"
 	"sparseorder/internal/fsutil"
 	"sparseorder/internal/gen"
 	"sparseorder/internal/reorder"
@@ -224,7 +225,7 @@ func LoadJournal(path string, cfg Config) (*Journal, error) {
 // RecordResult appends a completed matrix result and fsyncs before
 // returning, making the result durable against a subsequent crash.
 func (j *Journal) RecordResult(r *MatrixResult) error {
-	return j.append(journalRecord{Kind: "result", Result: r}, func() {
+	return j.append(r.Name, journalRecord{Kind: "result", Result: r}, func() {
 		j.results[r.Name] = r
 	})
 }
@@ -240,12 +241,16 @@ func (j *Journal) RecordFailure(e *MatrixError) error {
 		Attempts: e.Attempts,
 		Message:  e.Err.Error(),
 	}
-	return j.append(journalRecord{Kind: "failure", Failure: fl}, func() {
+	return j.append(e.Name, journalRecord{Kind: "failure", Failure: fl}, func() {
 		j.failures[e.Name] = e
 	})
 }
 
-func (j *Journal) append(rec journalRecord, commit func()) error {
+// append serialises, writes and fsyncs one record. Any error — including
+// a fault injected at the journal/append or journal/sync points — is
+// returned to the runner, which treats it as run-fatal: a checkpoint that
+// cannot be written durably must not be trusted silently.
+func (j *Journal) append(name string, rec journalRecord, commit func()) error {
 	line, err := json.Marshal(rec)
 	if err != nil {
 		return err
@@ -253,7 +258,13 @@ func (j *Journal) append(rec journalRecord, commit func()) error {
 	line = append(line, '\n')
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if err := faultinject.Check(faultinject.JournalAppend, name); err != nil {
+		return err
+	}
 	if _, err := j.f.Write(line); err != nil {
+		return err
+	}
+	if err := faultinject.Check(faultinject.JournalSync, name); err != nil {
 		return err
 	}
 	if err := j.f.Sync(); err != nil {
@@ -284,14 +295,21 @@ func (j *Journal) Len() int {
 	return len(j.results) + len(j.failures)
 }
 
-// Close flushes and closes the underlying file.
+// Close fsyncs and closes the underlying file. Both the sync and the
+// close error are surfaced — callers must treat a failed Close as fatal
+// for the checkpoint, since a write buffered by a silently failing disk
+// would otherwise masquerade as a durable record.
 func (j *Journal) Close() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.f == nil {
 		return nil
 	}
-	err := j.f.Close()
+	serr := j.f.Sync()
+	cerr := j.f.Close()
 	j.f = nil
-	return err
+	if serr != nil {
+		return fmt.Errorf("experiments: journal sync on close: %w", serr)
+	}
+	return cerr
 }

@@ -21,13 +21,17 @@ type FailureClass string
 // The failure classes. Timeouts and panics are considered transient (a
 // retry under less memory pressure or scheduler noise can succeed);
 // cancellation means the whole run is stopping and is never retried or
-// journaled; everything else is a deterministic evaluation error that a
-// retry would only repeat.
+// journaled; resource means the governor refused the matrix because its
+// estimated working set can never fit the memory budget — deterministic
+// for a given budget, so never retried, but journaled so resume skips it;
+// everything else is a deterministic evaluation error that a retry would
+// only repeat.
 const (
 	FailError    FailureClass = "error"
 	FailTimeout  FailureClass = "timeout"
 	FailCanceled FailureClass = "canceled"
 	FailPanic    FailureClass = "panic"
+	FailResource FailureClass = "resource"
 )
 
 // Retryable reports whether a bounded retry may be attempted for this
@@ -40,6 +44,8 @@ func Classify(err error) FailureClass {
 	switch {
 	case errors.As(err, &pe):
 		return FailPanic
+	case errors.Is(err, ErrResourceBudget):
+		return FailResource
 	case errors.Is(err, context.DeadlineExceeded):
 		return FailTimeout
 	case errors.Is(err, context.Canceled):
@@ -131,6 +137,22 @@ func runStudy(ctx context.Context, cfg Config, coll []gen.Matrix, eval evalFunc)
 	ctx = obs.NewContext(ctx, o)
 	tel := newRunTelemetry(o)
 
+	// The governor admits matrices against the memory budget; nil (no
+	// budget configured or detected) admits everything with no locking.
+	gov := newGovernor(cfg)
+	if gov != nil {
+		cfg.Logf("memory governor: budget %s, solo ceiling %s",
+			FormatBytes(gov.budget), FormatBytes(gov.soloCap))
+	}
+
+	// Journal append failures are run-fatal — a silently failing disk must
+	// not masquerade as a healthy checkpoint. The first one cancels runCtx
+	// so in-flight matrices stop promptly, and is returned once the pool
+	// drains; matrices journaled before the failure remain resumable.
+	runCtx, cancelRun := context.WithCancelCause(ctx)
+	defer cancelRun(nil)
+	var journalErr error // guarded by mu
+
 	results := make([]*MatrixResult, len(coll))
 	failures := make([]*MatrixError, len(coll))
 
@@ -190,12 +212,16 @@ func runStudy(ctx context.Context, cfg Config, coll []gen.Matrix, eval evalFunc)
 			}
 			for idx := range jobs {
 				m := coll[idx]
+				var est int64
+				if gov != nil && m.A != nil {
+					est = EstimateMatrixBytes(m.A.Rows, m.A.NNZ(), cfg.Orderings)
+				}
 				tel.startMatrix(w, m.Name)
-				mctx, sp := obs.Start(ctx, "study/matrix")
+				mctx, sp := obs.Start(runCtx, "study/matrix")
 				sp.SetAttr("matrix", m.Name)
 				sp.SetAttr("worker", fmt.Sprint(w))
 				evalStart := time.Now()
-				r, attempts, err := evaluateWithRetry(mctx, m, cfg, eval, wlogf)
+				r, attempts, err := evaluateWithRetry(mctx, m, cfg, gov, est, eval, wlogf)
 				sp.End()
 
 				var me *MatrixError
@@ -216,7 +242,13 @@ func runStudy(ctx context.Context, cfg Config, coll []gen.Matrix, eval evalFunc)
 					}
 					tm.Stop()
 					if jerr != nil {
-						logf("journal write for %s failed (resume may redo it): %v", m.Name, jerr)
+						logf("journal write for %s failed; aborting the run (the checkpoint can no longer be trusted): %v", m.Name, jerr)
+						mu.Lock()
+						if journalErr == nil {
+							journalErr = jerr
+						}
+						mu.Unlock()
+						cancelRun(jerr)
 					}
 				}
 				tel.finishMatrix(w, m.Name, me, attempts, time.Since(evalStart).Seconds())
@@ -242,7 +274,7 @@ feed:
 	for _, i := range pending {
 		select {
 		case jobs <- i:
-		case <-ctx.Done():
+		case <-runCtx.Done():
 			break feed
 		}
 	}
@@ -250,6 +282,12 @@ feed:
 	wg.Wait()
 	tel.runEnd()
 
+	mu.Lock()
+	jfatal := journalErr
+	mu.Unlock()
+	if jfatal != nil {
+		return nil, fmt.Errorf("experiments: journal append failed, run aborted (matrices journaled before the failure remain resumable): %w", jfatal)
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -267,13 +305,29 @@ feed:
 
 // evaluateWithRetry drives evaluateIsolated under the bounded-retry
 // policy: retryable failures (timeout, panic) are re-attempted up to
-// cfg.Retries additional times with a doubling backoff, while
-// deterministic errors and run cancellation fail immediately. It returns
-// the attempt count alongside the final outcome.
-func evaluateWithRetry(ctx context.Context, m gen.Matrix, cfg Config, eval evalFunc, logf func(string, ...any)) (*MatrixResult, int, error) {
-	backoff := cfg.RetryBackoff
+// cfg.Retries additional times with a capped doubling backoff and
+// deterministic seeded jitter, while deterministic errors and run
+// cancellation fail immediately. Every attempt is admitted through the
+// governor first; after a retryable failure under an active governor the
+// next attempt is promoted to a solo admission (pool drained), the middle
+// rung of the degradation ladder. It returns the attempt count alongside
+// the final outcome.
+func evaluateWithRetry(ctx context.Context, m gen.Matrix, cfg Config, gov *governor, est int64, eval evalFunc, logf func(string, ...any)) (*MatrixResult, int, error) {
+	solo := false
 	for attempt := 1; ; attempt++ {
+		adm, aerr := gov.admit(ctx, m.Name, est, solo)
+		if aerr != nil {
+			// Either the run is stopping (context error, class canceled) or
+			// the matrix can never fit the budget (ErrResourceBudget, class
+			// resource): both are terminal for this matrix, neither retried.
+			return nil, attempt, &MatrixError{Name: m.Name, Err: aerr}
+		}
+		if adm != nil && adm.solo {
+			logf("%s admitted solo (est %s, budget %s): pool drained while it runs",
+				m.Name, FormatBytes(est), FormatBytes(gov.budget))
+		}
 		r, err := evaluateIsolated(ctx, m, cfg, eval, logf)
+		adm.release()
 		if err == nil {
 			return r, attempt, nil
 		}
@@ -281,6 +335,10 @@ func evaluateWithRetry(ctx context.Context, m gen.Matrix, cfg Config, eval evalF
 		if !class.Retryable() || attempt > cfg.Retries {
 			return nil, attempt, err
 		}
+		if gov != nil && !solo {
+			solo = true
+		}
+		backoff := retryDelay(cfg.RetryBackoff, cfg.RetryBackoffMax, cfg.Seed, m.Name, attempt)
 		logf("%s attempt %d failed (%s), retrying in %v", m.Name, attempt, class, backoff)
 		select {
 		case <-time.After(backoff):
@@ -288,8 +346,41 @@ func evaluateWithRetry(ctx context.Context, m gen.Matrix, cfg Config, eval evalF
 			// The run is stopping; report the original failure unchanged.
 			return nil, attempt, err
 		}
-		backoff *= 2
 	}
+}
+
+// retryDelay computes the pause after the attempt-th failed attempt: the
+// doubling backoff base·2^(attempt-1) capped at max, then scaled into
+// [cap/2, cap) by a jitter factor that is a pure hash of (seed, matrix
+// name, attempt). The jitter decorrelates a batch of matrices that all
+// failed the same way (e.g. a timeout burst under memory pressure) so
+// their retries do not land in lockstep, while staying deterministic:
+// rerunning the study reproduces the identical schedule.
+func retryDelay(base, max time.Duration, seed int64, name string, attempt int) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	if max < base {
+		max = base
+	}
+	d := base
+	for i := 1; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max || d <= 0 { // d <= 0 guards shift overflow
+		d = max
+	}
+	h := uint64(seed)
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint64(name[i])) * 1099511628211
+	}
+	h ^= uint64(attempt)
+	h += 0x9e3779b97f4a7c15
+	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+	h ^= h >> 31
+	frac := float64(h>>11) / (1 << 53) // uniform [0, 1)
+	return d/2 + time.Duration(frac*float64(d/2))
 }
 
 // evaluateIsolated runs one matrix's evaluation with the per-matrix

@@ -55,8 +55,23 @@ type Config struct {
 	// deterministic errors and run cancellation are never retried.
 	Retries int
 	// RetryBackoff is the pause before the first retry, doubling on each
-	// subsequent attempt. Default 100ms.
+	// subsequent attempt. Default 100ms. The actual pause is capped at
+	// RetryBackoffMax and scattered by deterministic seeded jitter (see
+	// retryDelay) so batches of same-class failures retry decorrelated.
 	RetryBackoff time.Duration
+	// RetryBackoffMax caps the doubling backoff. Default 10s.
+	RetryBackoffMax time.Duration
+	// MemBudget is the byte budget the resource governor admits matrices
+	// against (see DESIGN.md, "Resource governance & degradation
+	// contract"): per-matrix working sets are estimated up front and a
+	// byte-weighted semaphore narrows effective concurrency so the sum of
+	// admitted estimates stays within the budget; oversized matrices run
+	// alone with the pool drained, and matrices beyond twice the budget
+	// are skipped with failure class "resource". 0 auto-detects from the
+	// runtime's soft memory limit (GOMEMLIMIT), taking 90% of it, and
+	// leaves the governor off when no limit is set; negative disables the
+	// governor unconditionally.
+	MemBudget int64
 	// Journal, when set, receives every completed matrix (result or
 	// terminal failure) as a durable record, and matrices it already holds
 	// are skipped and their recorded outcomes reused — the checkpoint /
@@ -96,6 +111,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetryBackoff == 0 {
 		c.RetryBackoff = 100 * time.Millisecond
+	}
+	if c.RetryBackoffMax == 0 {
+		c.RetryBackoffMax = 10 * time.Second
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}

@@ -5,6 +5,8 @@ package fsutil
 import (
 	"os"
 	"path/filepath"
+
+	"sparseorder/internal/faultinject"
 )
 
 // WriteFileAtomic writes data to path so that readers never observe a
@@ -13,6 +15,13 @@ import (
 // path holds either the previous content or the new content in full,
 // never a torn mix. The containing directory is fsynced best-effort so
 // the rename itself survives a crash on filesystems that require it.
+//
+// Three fault points cover the failure modes the atomicity contract must
+// survive — fsutil/write (a short write: half the payload lands before
+// the error), fsutil/sync (fsync failure) and fsutil/rename (rename
+// failure). On every one of them the destination keeps its previous
+// content and the temp file is removed; with no fault plan armed each
+// hook is a single nil check.
 func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-")
@@ -25,9 +34,24 @@ func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
 			os.Remove(tmpName)
 		}
 	}()
+	if faultinject.Enabled() {
+		if ferr := faultinject.Check(faultinject.FileWrite, filepath.Base(path)); ferr != nil {
+			// Leave genuinely torn debris in the temp file so the cleanup
+			// path is exercised against what a real short write produces.
+			tmp.Write(data[:len(data)/2])
+			tmp.Close()
+			return ferr
+		}
+	}
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		return err
+	}
+	if faultinject.Enabled() {
+		if ferr := faultinject.Check(faultinject.FileSync, filepath.Base(path)); ferr != nil {
+			tmp.Close()
+			return ferr
+		}
 	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
@@ -39,6 +63,11 @@ func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
 	}
 	if err := tmp.Close(); err != nil {
 		return err
+	}
+	if faultinject.Enabled() {
+		if ferr := faultinject.Check(faultinject.FileRename, filepath.Base(path)); ferr != nil {
+			return ferr
+		}
 	}
 	if err := os.Rename(tmpName, path); err != nil {
 		return err

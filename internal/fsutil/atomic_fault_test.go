@@ -1,0 +1,133 @@
+package fsutil
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+
+	"sparseorder/internal/faultinject"
+)
+
+// checkDirClean asserts the directory holds exactly the named files — in
+// particular, no leftover ".name.tmp-*" debris from a failed atomic write.
+func checkDirClean(t *testing.T, dir string, want ...string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, e := range entries {
+		got[e.Name()] = true
+	}
+	if len(got) != len(want) {
+		t.Fatalf("dir holds %v, want exactly %v", keys(got), want)
+	}
+	for _, name := range want {
+		if !got[name] {
+			t.Fatalf("dir holds %v, want exactly %v", keys(got), want)
+		}
+	}
+}
+
+func keys(m map[string]bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// TestWriteFileAtomicFaultPaths drives every injectable failure of the
+// atomic write — short write, fsync error, rename error — and asserts the
+// torn-write contract each time: the destination keeps its previous
+// content byte for byte and no temp file survives the failure.
+func TestWriteFileAtomicFaultPaths(t *testing.T) {
+	cases := []struct {
+		name  string
+		rule  faultinject.Rule
+		cause error
+	}{
+		{"short write", faultinject.Rule{Point: faultinject.FileWrite, Mode: faultinject.ModeShortWrite, Rate: 1}, io.ErrShortWrite},
+		{"fsync enospc", faultinject.Rule{Point: faultinject.FileSync, Mode: faultinject.ModeENOSPC, Rate: 1}, syscall.ENOSPC},
+		{"rename error", faultinject.Rule{Point: faultinject.FileRename, Mode: faultinject.ModeError, Rate: 1}, faultinject.ErrInjected},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "artifact.txt")
+			prev := []byte("previous complete content\n")
+			if err := WriteFileAtomic(path, prev, 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			faultinject.Activate(faultinject.NewPlan(1, tc.rule))
+			t.Cleanup(faultinject.Deactivate)
+			err := WriteFileAtomic(path, []byte("new content that must never land partially\n"), 0o644)
+			if !errors.Is(err, tc.cause) {
+				t.Fatalf("err = %v, want wrapping %v", err, tc.cause)
+			}
+
+			// Destination untouched, no temp debris.
+			got, rerr := os.ReadFile(path)
+			if rerr != nil {
+				t.Fatal(rerr)
+			}
+			if string(got) != string(prev) {
+				t.Errorf("destination changed after failed write: %q", got)
+			}
+			checkDirClean(t, dir, "artifact.txt")
+
+			// The same write succeeds once the fault plan is disarmed.
+			faultinject.Deactivate()
+			next := []byte("new content that must never land partially\n")
+			if err := WriteFileAtomic(path, next, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			got, rerr = os.ReadFile(path)
+			if rerr != nil {
+				t.Fatal(rerr)
+			}
+			if string(got) != string(next) {
+				t.Errorf("post-fault write landed %q", got)
+			}
+			checkDirClean(t, dir, "artifact.txt")
+		})
+	}
+}
+
+// TestWriteFileAtomicFreshFileFault checks the failure contract when no
+// previous file exists: a failed atomic write must leave the directory
+// empty, not a half-written destination.
+func TestWriteFileAtomicFreshFileFault(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fresh.txt")
+	faultinject.Activate(faultinject.NewPlan(1,
+		faultinject.Rule{Point: faultinject.FileWrite, Mode: faultinject.ModeShortWrite, Rate: 1}))
+	t.Cleanup(faultinject.Deactivate)
+	if err := WriteFileAtomic(path, []byte("payload"), 0o644); !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("destination exists after failed first write: %v", err)
+	}
+	checkDirClean(t, dir)
+}
+
+// TestWriteFileAtomicDisabledZeroAlloc pins the hot-path cost of the fault
+// hooks themselves: with no plan armed, Enabled() short-circuits before
+// any key is built.
+func TestWriteFileAtomicDisabledZeroAlloc(t *testing.T) {
+	faultinject.Deactivate()
+	allocs := testing.AllocsPerRun(1000, func() {
+		if faultinject.Enabled() {
+			t.Fatal("armed")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled guard allocates %v per call", allocs)
+	}
+}

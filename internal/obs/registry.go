@@ -21,8 +21,9 @@ var DefBuckets = []float64{.0001, .00025, .0005, .001, .0025, .005, .01, .025, .
 // handles themselves update lock-free with atomics, so hot paths fetch a
 // handle once and hammer it from any number of goroutines.
 type Registry struct {
-	mu       sync.RWMutex
-	families map[string]*family
+	mu         sync.RWMutex
+	families   map[string]*family
+	collectors []func(io.Writer) error
 }
 
 type metricKind int
@@ -222,15 +223,28 @@ func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Labe
 	return h
 }
 
+// AddCollector registers a scrape-time collector: fn runs at the end of
+// every WritePrometheus call and appends its own exposition-format lines.
+// It suits metrics whose source of truth lives outside the registry (the
+// fault-injection counters, say) and would otherwise need mirroring into
+// handles on every update.
+func (r *Registry) AddCollector(fn func(io.Writer) error) {
+	r.mu.Lock()
+	r.collectors = append(r.collectors, fn)
+	r.mu.Unlock()
+}
+
 // WritePrometheus renders every family in Prometheus text exposition
 // format (version 0.0.4). Families and series are emitted in sorted order
-// so the output is deterministic.
+// so the output is deterministic; registered collectors run last, in
+// registration order.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	r.mu.RLock()
 	names := make([]string, 0, len(r.families))
 	for name := range r.families {
 		names = append(names, name)
 	}
+	collectors := r.collectors
 	r.mu.RUnlock()
 	sort.Strings(names)
 
@@ -260,6 +274,11 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			if err := writeSeries(w, f, series[sig]); err != nil {
 				return err
 			}
+		}
+	}
+	for _, fn := range collectors {
+		if err := fn(w); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -1,6 +1,8 @@
 package obs
 
 import (
+	"errors"
+	"io"
 	"math"
 	"reflect"
 	"strings"
@@ -176,5 +178,38 @@ func TestHistogramConcurrent(t *testing.T) {
 	}
 	if h.Sum() != g*n/2 {
 		t.Errorf("sum = %v, want %v", h.Sum(), g*n/2)
+	}
+}
+
+// TestAddCollector checks that scrape-time collectors render after every
+// family, in registration order, and that a collector error aborts the
+// write.
+func TestAddCollector(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zz_total", "").Inc()
+	r.AddCollector(func(w io.Writer) error {
+		_, err := io.WriteString(w, "extern_a 1\n")
+		return err
+	})
+	r.AddCollector(func(w io.Writer) error {
+		_, err := io.WriteString(w, "extern_b 2\n")
+		return err
+	})
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	zz := strings.Index(out, "zz_total 1")
+	a := strings.Index(out, "extern_a 1")
+	bb := strings.Index(out, "extern_b 2")
+	if zz < 0 || a < 0 || bb < 0 || !(zz < a && a < bb) {
+		t.Fatalf("collector output missing or misordered:\n%s", out)
+	}
+
+	boom := errors.New("boom")
+	r.AddCollector(func(io.Writer) error { return boom })
+	if err := r.WritePrometheus(io.Discard); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
 	}
 }

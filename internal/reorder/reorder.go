@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"time"
 
+	"sparseorder/internal/faultinject"
 	"sparseorder/internal/graph"
 	"sparseorder/internal/obs"
 	"sparseorder/internal/sparse"
@@ -178,6 +179,15 @@ func ComputeTimedCtx(ctx context.Context, alg Algorithm, a *sparse.CSR, opts Opt
 	}
 	o := opts.obs
 	done := ctx.Done()
+	// Fault hooks fire at the phase boundaries, keyed by (alg, shape) so an
+	// injected schedule hits the same (matrix, ordering) pairs in every run
+	// and resume. Enabled() guards the key construction: with no plan armed
+	// the hook is one atomic load and allocates nothing.
+	if faultinject.Enabled() {
+		if err := faultinject.Check(faultPoint(alg), faultKey(alg, a)); err != nil {
+			return nil, t, err
+		}
+	}
 	if alg.NeedsGraph() {
 		sp := o.Span("reorder/graph")
 		sp.SetAttr("alg", string(alg))
@@ -190,6 +200,11 @@ func ComputeTimedCtx(ctx context.Context, alg Algorithm, a *sparse.CSR, opts Opt
 		}
 		if err := ctx.Err(); err != nil {
 			return nil, t, err
+		}
+		if faultinject.Enabled() {
+			if err := faultinject.Check(faultinject.ReorderOrder, faultKey(alg, a)); err != nil {
+				return nil, t, err
+			}
 		}
 		sp = o.Span("reorder/order")
 		sp.SetAttr("alg", string(alg))
@@ -229,6 +244,22 @@ func ComputeTimedCtx(ctx context.Context, alg Algorithm, a *sparse.CSR, opts Opt
 		return nil, t, err
 	}
 	return p, t, nil
+}
+
+// faultPoint maps the algorithm's first phase to its fault point: graph
+// construction for the graph-based orderings, the ordering itself for the
+// rest.
+func faultPoint(alg Algorithm) faultinject.Point {
+	if alg.NeedsGraph() {
+		return faultinject.ReorderGraph
+	}
+	return faultinject.ReorderOrder
+}
+
+// faultKey identifies one (algorithm, matrix shape) pair stably across
+// runs and resumes; only built when a fault plan is armed.
+func faultKey(alg Algorithm, a *sparse.CSR) string {
+	return fmt.Sprintf("%s/%dx%d/%d", alg, a.Rows, a.Cols, a.NNZ())
 }
 
 // orderGraph runs a graph-based ordering on a prebuilt adjacency graph.
@@ -285,6 +316,11 @@ func ApplyTimedCtx(ctx context.Context, alg Algorithm, a *sparse.CSR, opts Optio
 	}
 	if verr := p.Validate(); verr != nil {
 		return nil, nil, t, fmt.Errorf("reorder: %s produced an invalid permutation: %w", alg, verr)
+	}
+	if faultinject.Enabled() {
+		if err := faultinject.Check(faultinject.ReorderPermute, faultKey(alg, a)); err != nil {
+			return nil, nil, t, err
+		}
 	}
 	sp := obs.FromContext(ctx).Span("reorder/permute")
 	sp.SetAttr("alg", string(alg))

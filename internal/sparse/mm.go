@@ -7,6 +7,8 @@ import (
 	"math"
 	"strconv"
 	"strings"
+
+	"sparseorder/internal/faultinject"
 )
 
 // Matrix Market exchange format support (coordinate real/integer/pattern,
@@ -26,6 +28,11 @@ type MMHeader struct {
 // paper's conversion rule (both triangles stored explicitly). Pattern
 // matrices receive unit values.
 func ReadMatrixMarket(r io.Reader) (*CSR, error) {
+	// Fault point for chaos testing of corpus loading; streams carry no
+	// stable identity, so the decision is keyed by the per-point hit count.
+	if err := faultinject.Check(faultinject.MatrixRead, ""); err != nil {
+		return nil, fmt.Errorf("sparse: reading matrix: %w", err)
+	}
 	br := bufio.NewReaderSize(r, 1<<20)
 	// Tolerate EOF on the banner read the same way the size-line loop
 	// does: a stream holding only a banner (no trailing newline) should
