@@ -6,13 +6,16 @@
 // Usage:
 //
 //	spmvbench [-alg Original|RCM|AMD|ND|GP|HP|Gray] [-threads N]
-//	          [-repeats N] [-gen NAME | input.mtx]
+//	          [-repeats N] [-ingest-workers N] [-gen NAME | input.mtx]
 //	          [-cpuprofile FILE] [-memprofile FILE] [-trace FILE]
 //
 // With -gen, a named matrix from the synthetic collection is used instead
-// of a Matrix Market file (run with -gen list to enumerate). -cpuprofile,
-// -memprofile and -trace write the corresponding runtime profiles; the
-// files are finalised on every exit path.
+// of a Matrix Market file (run with -gen list to enumerate). Matrix Market
+// files are ingested through the parallel streaming reader with
+// -ingest-workers goroutines (0 = GOMAXPROCS); any worker count produces
+// byte-identical matrices. -cpuprofile, -memprofile and -trace write the
+// corresponding runtime profiles; the files are finalised on every exit
+// path.
 package main
 
 import (
@@ -43,6 +46,7 @@ func run() int {
 	genName := flag.String("gen", "", "use a named matrix from the synthetic collection ('list' to enumerate)")
 	scaleName := flag.String("scale", "study", "collection scale for -gen: test, study or large")
 	seed := flag.Int64("seed", 42, "collection seed")
+	ingestWorkers := flag.Int("ingest-workers", 0, "workers for Matrix Market file ingestion (0 = GOMAXPROCS); any value gives identical matrices")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	tracePath := flag.String("trace", "", "write a runtime execution trace to this file")
@@ -96,7 +100,7 @@ func run() int {
 		if err != nil {
 			return fail("%v", err)
 		}
-		a, err = sparse.ReadMatrixMarket(f)
+		a, err = sparse.ReadMatrixMarketWorkers(f, *ingestWorkers)
 		f.Close()
 		if err != nil {
 			return fail("%v", err)

@@ -3,12 +3,20 @@
 //
 // Usage:
 //
-//	study [-exp all|fig1|fig2|fig3|fig4|fig5|fig6|table3|table4|table5|densecsr|benchreorder|benchobs|artifact]
+//	study [-exp all|fig1|fig2|fig3|fig4|fig5|fig6|table3|table4|table5|densecsr|benchreorder|benchingest|benchobs|artifact]
 //	      [-scale test|study|large] [-seed N] [-out DIR] [-v]
-//	      [-workers N] [-reorder-workers N] [-timeout D]
+//	      [-workers N] [-reorder-workers N] [-ingest-workers N] [-timeout D]
 //	      [-checkpoint FILE] [-resume] [-retries N] [-membudget SIZE]
 //	      [-http ADDR] [-http-linger D] [-events FILE] [-faults SPEC]
 //	      [-cpuprofile FILE] [-memprofile FILE] [-trace FILE]
+//	      [matrix.mtx ...]
+//
+// With no positional arguments the study runs on the generated synthetic
+// collection selected by -scale and -seed. Positional arguments name
+// Matrix Market files to evaluate instead; they are ingested through the
+// parallel streaming reader with -ingest-workers goroutines per file
+// (default 0 = GOMAXPROCS) and evaluated like collection matrices.
+// Ingestion output is byte-identical at any worker count.
 //
 // Matrices are evaluated concurrently by -workers workers (default
 // GOMAXPROCS); within each matrix, the reordering pipeline (graph
@@ -55,7 +63,9 @@
 //
 // -exp benchreorder measures the reordering hot path serial vs parallel
 // and prints the BENCH_reorder.json document (also written to -out DIR
-// when given). -exp benchobs measures the observability layer's
+// when given). -exp benchingest measures Matrix Market ingestion — the
+// serial reference reader vs the parallel streaming pipeline — and prints
+// BENCH_ingest.json. -exp benchobs measures the observability layer's
 // disabled-path overhead and prints BENCH_obs.json.
 //
 // Results are printed to stdout; with -out, artifact-format data files
@@ -105,7 +115,7 @@ func main() {
 }
 
 func run() (code int) {
-	exp := flag.String("exp", "all", "experiment to run: all, fig1..fig6, table3..table5, densecsr, findings, artifact")
+	exp := flag.String("exp", "all", "experiment to run: all, fig1..fig6, table3..table5, densecsr, findings, artifact, benchreorder, benchingest, benchobs")
 	scaleName := flag.String("scale", "test", "collection scale: test, study or large")
 	seed := flag.Int64("seed", 42, "collection seed")
 	out := flag.String("out", "", "directory for artifact-format data files")
@@ -113,6 +123,7 @@ func run() (code int) {
 	repeats := flag.Int("repeats", 10, "host SpMV timing repetitions (best run is kept)")
 	workers := flag.Int("workers", 0, "concurrent matrix evaluations (0 = GOMAXPROCS)")
 	reorderWorkers := flag.Int("reorder-workers", 1, "workers for the per-matrix reordering pipeline (0 = GOMAXPROCS, 1 = serial); any value gives identical results")
+	ingestWorkers := flag.Int("ingest-workers", 0, "workers for Matrix Market file ingestion (0 = GOMAXPROCS); any value gives identical matrices")
 	timeout := flag.Duration("timeout", 0, "per-matrix evaluation timeout, e.g. 90s (0 = none)")
 	checkpoint := flag.String("checkpoint", "", "journal file recording each completed matrix for crash-safe resume")
 	resume := flag.Bool("resume", false, "resume from the -checkpoint journal, skipping matrices it records")
@@ -191,6 +202,7 @@ func run() (code int) {
 		Repeats:        *repeats,
 		Workers:        *workers,
 		ReorderWorkers: rw,
+		IngestWorkers:  *ingestWorkers,
 		Timeout:        *timeout,
 		Retries:        *retries,
 		Logf:           lg.Infof, // level-gated: silent unless -v
@@ -296,7 +308,7 @@ func run() (code int) {
 	want := func(name string) bool { return *exp == "all" || *exp == name }
 
 	// Experiments that need the full study run.
-	needStudy := *exp == "all" || (*out != "" && *exp != "benchreorder" && *exp != "benchobs")
+	needStudy := *exp == "all" || (*out != "" && *exp != "benchreorder" && *exp != "benchingest" && *exp != "benchobs")
 	for _, name := range []string{"fig2", "fig3", "fig5", "fig6", "table3", "table4", "artifact", "findings"} {
 		if *exp == name {
 			needStudy = true
@@ -306,7 +318,19 @@ func run() (code int) {
 	if needStudy {
 		start := time.Now()
 		var err error
-		s, err = experiments.RunStudyContext(ctx, cfg)
+		if flag.NArg() > 0 {
+			// Positional arguments switch the study to a Matrix Market file
+			// corpus: ingest every file through the parallel pipeline, then
+			// evaluate the result exactly like the generated collection.
+			ms, lerr := experiments.LoadMatrixFiles(ctx, cfg, flag.Args())
+			if lerr != nil {
+				lg.Errorf("%v", lerr)
+				return exitFatal
+			}
+			s, err = experiments.RunStudyMatrices(ctx, cfg, ms)
+		} else {
+			s, err = experiments.RunStudyContext(ctx, cfg)
+		}
 		if errors.Is(err, context.Canceled) {
 			lg.Warnf("run aborted; completed matrices are in the checkpoint journal (use -resume to continue)")
 			return exitAborted
@@ -368,8 +392,8 @@ func run() (code int) {
 	if code != exitOK {
 		return code
 	}
-	// benchreorder and benchobs are explicit-only: they measure wall clock
-	// on fixed-size inputs and would slow "all" runs without adding to the
+	// The bench experiments are explicit-only: they measure wall clock on
+	// fixed-size inputs and would slow "all" runs without adding to the
 	// tables.
 	if *exp == "benchreorder" {
 		counts := []int{1, 2, 4}
@@ -389,6 +413,27 @@ func run() (code int) {
 		}
 		fmt.Print(text)
 		if werr := writeBenchFile(*out, "BENCH_reorder.json", text, lg); werr != nil {
+			return exitFatal
+		}
+	}
+	if *exp == "benchingest" {
+		counts := []int{1, 2, 4}
+		if g := runtime.GOMAXPROCS(0); g != 1 && g != 2 && g != 4 {
+			counts = append(counts, g)
+		}
+		bench, err := experiments.RunIngestBench(
+			experiments.IngestBenchMatrices(*seed), counts, *repeats)
+		if err != nil {
+			lg.Errorf("%v", err)
+			return exitFatal
+		}
+		text, err := experiments.RenderIngestBench(bench)
+		if err != nil {
+			lg.Errorf("%v", err)
+			return exitFatal
+		}
+		fmt.Print(text)
+		if werr := writeBenchFile(*out, "BENCH_ingest.json", text, lg); werr != nil {
 			return exitFatal
 		}
 	}

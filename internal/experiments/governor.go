@@ -87,6 +87,27 @@ func EstimateMatrixBytes(rows, nnz int, orderings []reorder.Algorithm) int64 {
 	return 2*csrBytes(n, z) + worst
 }
 
+// EstimateIngestBytes extends the working-set model to the parallel
+// ingestion pipeline's transient structures: the post-header text buffer
+// (~24 B per entry at WriteMatrixMarket's %.17g width), the per-worker COO
+// shards (16 B per stored entry: two int32 indices and a float64 value),
+// the assembly scratch arrays of the same total size, and the output CSR.
+// Symmetric expansion at worst doubles the stored entries, which the
+// shard/scratch terms already cover by costing the expanded count; callers
+// pass the post-expansion nnz they expect (the declared nnz is a safe
+// floor). The worker count only adds per-chunk bookkeeping, not data, so
+// it does not appear in the model.
+func EstimateIngestBytes(rows, nnz int) int64 {
+	n, z := int64(rows), int64(nnz)
+	if n < 0 || z < 0 {
+		return 0
+	}
+	text := 24 * z
+	shards := 16 * z
+	scratch := 16 * z
+	return text + shards + scratch + csrBytes(n, z)
+}
+
 // resolveMemBudget turns Config.MemBudget into an effective byte budget:
 // positive values are taken as-is, negative disables the governor, and 0
 // auto-detects from the Go runtime's soft memory limit (GOMEMLIMIT /

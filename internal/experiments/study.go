@@ -43,6 +43,13 @@ type Config struct {
 	// opt-in to avoid oversubscription. Any value produces byte-identical
 	// permutations, matrices and features.
 	ReorderWorkers int
+	// IngestWorkers is the worker count for parallel Matrix Market
+	// ingestion (sparse.ReadMatrixMarketWorkers) when the study runs on a
+	// file corpus (LoadMatrixFiles). Unlike ReorderWorkers, the default 0
+	// means GOMAXPROCS: ingestion happens before the matrix worker pool
+	// spins up, so it may use the whole host without oversubscription.
+	// Any value produces byte-identical matrices.
+	IngestWorkers int
 	// Timeout bounds each matrix's evaluation; 0 means no limit. The
 	// deadline is threaded into the ordering algorithms themselves (BFS,
 	// elimination, coarsening and refinement loops all poll it), so even a
@@ -108,6 +115,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ReorderWorkers == 0 {
 		c.ReorderWorkers = 1
+	}
+	if c.IngestWorkers == 0 {
+		c.IngestWorkers = runtime.GOMAXPROCS(0)
 	}
 	if c.RetryBackoff == 0 {
 		c.RetryBackoff = 100 * time.Millisecond

@@ -36,9 +36,14 @@ type Point string
 
 // The wired fault points.
 const (
-	// MatrixRead fires at the top of sparse.ReadMatrixMarket (keyless:
-	// streams carry no stable identity).
+	// MatrixRead fires at the top of sparse.ReadMatrixMarket and its
+	// parallel counterpart ReadMatrixMarketWorkers (keyless: streams carry
+	// no stable identity).
 	MatrixRead Point = "matrix/read"
+	// IngestChunk fires at the start of each chunk parse in the parallel
+	// ingestion pipeline, keyed by the chunk ordinal ("chunk0", "chunk1",
+	// ...) so a schedule is stable across runs at a fixed worker count.
+	IngestChunk Point = "ingest/chunk"
 	// JournalAppend and JournalSync fire before the journal's record write
 	// and fsync respectively, keyed by the matrix name being recorded.
 	JournalAppend Point = "journal/append"

@@ -2,7 +2,6 @@ package sparse
 
 import (
 	"fmt"
-	"sort"
 )
 
 // COO is a sparse matrix in coordinate (triplet) format. Entries may appear
@@ -94,7 +93,7 @@ func (c *COO) ToCSR() (*CSR, error) {
 	}
 	for i := 0; i < c.Rows; i++ {
 		lo, hi := off[i], off[i+1]
-		sort.Sort(&colValSort{cols[lo:hi], vals[lo:hi]})
+		sortColVal(cols[lo:hi], vals[lo:hi])
 		rowStart := len(a.ColIdx)
 		for k := lo; k < hi; k++ {
 			if n := len(a.ColIdx); n > rowStart && cols[k] == a.ColIdx[n-1] {

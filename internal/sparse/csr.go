@@ -8,7 +8,6 @@ package sparse
 
 import (
 	"fmt"
-	"sort"
 )
 
 // CSR is a sparse matrix in compressed sparse row format. Nonzeros of each
@@ -177,8 +176,7 @@ func (a *CSR) PatternEqual2(b *CSR) bool { return a.PatternEqual(b) }
 func (a *CSR) SortRows() {
 	for i := 0; i < a.Rows; i++ {
 		lo, hi := a.RowPtr[i], a.RowPtr[i+1]
-		cols, vals := a.ColIdx[lo:hi], a.Val[lo:hi]
-		sort.Sort(&colValSort{cols, vals})
+		sortColVal(a.ColIdx[lo:hi], a.Val[lo:hi])
 	}
 }
 

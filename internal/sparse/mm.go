@@ -5,15 +5,20 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"strconv"
 	"strings"
 
 	"sparseorder/internal/faultinject"
 )
 
 // Matrix Market exchange format support (coordinate real/integer/pattern,
-// general/symmetric). This mirrors the format used by the SuiteSparse
-// collection that the paper's dataset is drawn from.
+// general/symmetric/skew-symmetric). This mirrors the format used by the
+// SuiteSparse collection that the paper's dataset is drawn from.
+//
+// Two readers share one grammar: ReadMatrixMarket is the serial,
+// line-at-a-time reference implementation, and ReadMatrixMarketWorkers
+// (ingest.go) is the chunked parallel pipeline whose output is
+// byte-identical to it at every worker count. Both parse each line through
+// the helpers in mmscan.go, so they accept and reject the same inputs.
 
 // MMHeader describes the banner line of a Matrix Market file.
 type MMHeader struct {
@@ -23,10 +28,63 @@ type MMHeader struct {
 	Symmetry string // "general", "symmetric", "skew-symmetric"
 }
 
+// readMMBanner parses and validates the banner line for the coordinate
+// readers.
+func readMMBanner(br *bufio.Reader) (MMHeader, error) {
+	// Tolerate EOF on the banner read the same way the size-line loop
+	// does: a stream holding only a banner (no trailing newline) should
+	// be judged on the banner's content, not fail with a read error.
+	banner, err := br.ReadString('\n')
+	if err != nil && banner == "" {
+		return MMHeader{}, fmt.Errorf("sparse: reading banner: %w", err)
+	}
+	fields := strings.Fields(strings.ToLower(banner))
+	if len(fields) != 5 || fields[0] != "%%matrixmarket" {
+		return MMHeader{}, fmt.Errorf("sparse: malformed Matrix Market banner %q", strings.TrimSpace(banner))
+	}
+	h := MMHeader{Object: fields[1], Format: fields[2], Field: fields[3], Symmetry: fields[4]}
+	if h.Object != "matrix" || h.Format != "coordinate" {
+		return MMHeader{}, fmt.Errorf("sparse: unsupported Matrix Market object/format %s/%s", h.Object, h.Format)
+	}
+	switch h.Field {
+	case "real", "integer", "pattern":
+	default:
+		return MMHeader{}, fmt.Errorf("sparse: unsupported Matrix Market field %q", h.Field)
+	}
+	switch h.Symmetry {
+	case "general", "symmetric", "skew-symmetric":
+	default:
+		return MMHeader{}, fmt.Errorf("sparse: unsupported Matrix Market symmetry %q", h.Symmetry)
+	}
+	return h, nil
+}
+
+// readMMSizeLine skips comments and blank lines, then parses the size
+// line.
+func readMMSizeLine(br *bufio.Reader) (rows, cols, nnz int, err error) {
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil && line == "" {
+			return 0, 0, 0, fmt.Errorf("sparse: missing size line: %w", err)
+		}
+		t := trimMMSpace([]byte(line))
+		if isCommentOrBlank(t) {
+			continue
+		}
+		return parseSizeLine(t)
+	}
+}
+
 // ReadMatrixMarket parses a Matrix Market stream into CSR form. Symmetric
 // and skew-symmetric inputs are expanded to full storage following the
 // paper's conversion rule (both triangles stored explicitly). Pattern
 // matrices receive unit values.
+//
+// This is the serial reference reader; ReadMatrixMarketWorkers parses the
+// same grammar in parallel with byte-identical output. The grammar is
+// strict: size and entry lines must carry exactly the promised field
+// count, skew-symmetric inputs must not store diagonal entries, and any
+// non-comment content after the last entry is an error.
 func ReadMatrixMarket(r io.Reader) (*CSR, error) {
 	// Fault point for chaos testing of corpus loading; streams carry no
 	// stable identity, so the decision is keyed by the per-point hit count.
@@ -34,55 +92,13 @@ func ReadMatrixMarket(r io.Reader) (*CSR, error) {
 		return nil, fmt.Errorf("sparse: reading matrix: %w", err)
 	}
 	br := bufio.NewReaderSize(r, 1<<20)
-	// Tolerate EOF on the banner read the same way the size-line loop
-	// does: a stream holding only a banner (no trailing newline) should
-	// be judged on the banner's content, not fail with a read error.
-	banner, err := br.ReadString('\n')
-	if err != nil && banner == "" {
-		return nil, fmt.Errorf("sparse: reading banner: %w", err)
+	h, err := readMMBanner(br)
+	if err != nil {
+		return nil, err
 	}
-	fields := strings.Fields(strings.ToLower(banner))
-	if len(fields) != 5 || fields[0] != "%%matrixmarket" {
-		return nil, fmt.Errorf("sparse: malformed Matrix Market banner %q", strings.TrimSpace(banner))
-	}
-	h := MMHeader{Object: fields[1], Format: fields[2], Field: fields[3], Symmetry: fields[4]}
-	if h.Object != "matrix" || h.Format != "coordinate" {
-		return nil, fmt.Errorf("sparse: unsupported Matrix Market object/format %s/%s", h.Object, h.Format)
-	}
-	switch h.Field {
-	case "real", "integer", "pattern":
-	default:
-		return nil, fmt.Errorf("sparse: unsupported Matrix Market field %q", h.Field)
-	}
-	switch h.Symmetry {
-	case "general", "symmetric", "skew-symmetric":
-	default:
-		return nil, fmt.Errorf("sparse: unsupported Matrix Market symmetry %q", h.Symmetry)
-	}
-
-	// Skip comments, read the size line.
-	var rows, cols, nnz int
-	for {
-		line, err := br.ReadString('\n')
-		if err != nil && line == "" {
-			return nil, fmt.Errorf("sparse: missing size line: %w", err)
-		}
-		line = strings.TrimSpace(line)
-		if line == "" || strings.HasPrefix(line, "%") {
-			continue
-		}
-		if _, err := fmt.Sscanf(line, "%d %d %d", &rows, &cols, &nnz); err != nil {
-			return nil, fmt.Errorf("sparse: malformed size line %q: %w", line, err)
-		}
-		break
-	}
-	if rows < 0 || cols < 0 || nnz < 0 {
-		return nil, fmt.Errorf("sparse: negative size line %d %d %d", rows, cols, nnz)
-	}
-	// COO stores int32 indices; reject dimensions it cannot represent
-	// before any entry is read.
-	if int64(rows) > math.MaxInt32 || int64(cols) > math.MaxInt32 {
-		return nil, fmt.Errorf("sparse: matrix dimensions %dx%d exceed the int32 index range", rows, cols)
+	rows, cols, nnz, err := readMMSizeLine(br)
+	if err != nil {
+		return nil, err
 	}
 
 	coo := NewCOO(rows, cols, nnz)
@@ -92,45 +108,29 @@ func ReadMatrixMarket(r io.Reader) (*CSR, error) {
 		if err != nil && line == "" {
 			return nil, fmt.Errorf("sparse: after %d of %d entries: %w", read, nnz, err)
 		}
-		line = strings.TrimSpace(line)
-		if line == "" || strings.HasPrefix(line, "%") {
+		t := trimMMSpace([]byte(line))
+		if isCommentOrBlank(t) {
 			continue
 		}
-		parts := strings.Fields(line)
-		want := 3
-		if h.Field == "pattern" {
-			want = 2
-		}
-		if len(parts) < want {
-			return nil, fmt.Errorf("sparse: malformed entry line %q", line)
-		}
-		i, err := strconv.Atoi(parts[0])
+		i, j, v, err := parseEntryLine(t, h, rows, cols)
 		if err != nil {
-			return nil, fmt.Errorf("sparse: bad row index %q: %w", parts[0], err)
+			return nil, fmt.Errorf("sparse: entry %d: %w", read+1, err)
 		}
-		j, err := strconv.Atoi(parts[1])
-		if err != nil {
-			return nil, fmt.Errorf("sparse: bad column index %q: %w", parts[1], err)
-		}
-		// Validate the 1-based indices against the size line here, before
-		// COO.Append narrows them to int32: an out-of-range 64-bit index
-		// could otherwise wrap back into range and silently corrupt the
-		// matrix instead of erroring.
-		if i < 1 || i > rows {
-			return nil, fmt.Errorf("sparse: entry %d: row index %d outside 1..%d", read+1, i, rows)
-		}
-		if j < 1 || j > cols {
-			return nil, fmt.Errorf("sparse: entry %d: column index %d outside 1..%d", read+1, j, cols)
-		}
-		v := 1.0
-		if h.Field != "pattern" {
-			v, err = strconv.ParseFloat(parts[2], 64)
-			if err != nil {
-				return nil, fmt.Errorf("sparse: bad value %q: %w", parts[2], err)
-			}
-		}
-		coo.Append(i-1, j-1, v)
+		coo.Append(i, j, v)
 		read++
+	}
+	// The historical reader stopped here and silently ignored whatever
+	// followed the last entry. A well-formed file holds exactly nnz
+	// entries, so trailing non-comment content is a corruption signal
+	// (a truncated size line, a concatenated file) and fails loudly.
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil && line == "" {
+			break
+		}
+		if t := trimMMSpace([]byte(line)); !isCommentOrBlank(t) {
+			return nil, fmt.Errorf("sparse: content after the declared %d entries: %q", nnz, t)
+		}
 	}
 
 	switch h.Symmetry {
@@ -143,11 +143,9 @@ func ReadMatrixMarket(r io.Reader) (*CSR, error) {
 			e.Row = append(e.Row, i)
 			e.Col = append(e.Col, j)
 			e.Val = append(e.Val, v)
-			if i != j {
-				e.Row = append(e.Row, j)
-				e.Col = append(e.Col, i)
-				e.Val = append(e.Val, -v)
-			}
+			e.Row = append(e.Row, j)
+			e.Col = append(e.Col, i)
+			e.Val = append(e.Val, -v)
 		}
 		coo = e
 	}
@@ -187,7 +185,11 @@ func WritePermutation(w io.Writer, p Perm) error {
 	return bw.Flush()
 }
 
-// ReadPermutation parses a permutation written by WritePermutation.
+// ReadPermutation parses a permutation written by WritePermutation. The
+// size line is validated the same way ReadMatrixMarket validates its own:
+// exactly two integer fields (trailing tokens are rejected), and the
+// length is capped at the int32 index range so a corrupt artifact fails
+// loudly instead of allocating whatever its header claims.
 func ReadPermutation(r io.Reader) (Perm, error) {
 	br := bufio.NewReader(r)
 	banner, err := br.ReadString('\n')
@@ -197,26 +199,43 @@ func ReadPermutation(r io.Reader) (Perm, error) {
 	if !strings.HasPrefix(strings.ToLower(banner), "%%matrixmarket matrix array integer") {
 		return nil, fmt.Errorf("sparse: not an integer array Matrix Market file")
 	}
-	var n, one int
+	var n int
 	for {
 		line, err := br.ReadString('\n')
 		if err != nil && line == "" {
 			return nil, fmt.Errorf("sparse: missing size line: %w", err)
 		}
-		line = strings.TrimSpace(line)
-		if line == "" || strings.HasPrefix(line, "%") {
+		t := trimMMSpace([]byte(line))
+		if isCommentOrBlank(t) {
 			continue
 		}
-		if _, err := fmt.Sscanf(line, "%d %d", &n, &one); err != nil {
-			return nil, fmt.Errorf("sparse: malformed size line %q: %w", line, err)
+		nTok, rest := nextField(t)
+		oneTok, rest := nextField(rest)
+		if len(nTok) == 0 || len(oneTok) == 0 {
+			return nil, fmt.Errorf("sparse: malformed size line %q: want 2 fields", t)
 		}
+		if tok, _ := nextField(rest); len(tok) != 0 {
+			return nil, fmt.Errorf("sparse: malformed size line %q: trailing %q", t, tok)
+		}
+		v, ok := atoiField(nTok)
+		if !ok {
+			return nil, fmt.Errorf("sparse: malformed size line %q: bad length %q", t, nTok)
+		}
+		one, ok := atoiField(oneTok)
+		if !ok {
+			return nil, fmt.Errorf("sparse: malformed size line %q: bad column count %q", t, oneTok)
+		}
+		if one != 1 {
+			return nil, fmt.Errorf("sparse: permutation must be a column vector, got %d columns", one)
+		}
+		n = v
 		break
-	}
-	if one != 1 {
-		return nil, fmt.Errorf("sparse: permutation must be a column vector, got %d columns", one)
 	}
 	if n < 0 {
 		return nil, fmt.Errorf("sparse: negative permutation length %d", n)
+	}
+	if int64(n) > math.MaxInt32 {
+		return nil, fmt.Errorf("sparse: permutation length %d exceeds the int32 index range", n)
 	}
 	p := make(Perm, 0, n)
 	for len(p) < n {
@@ -224,15 +243,30 @@ func ReadPermutation(r io.Reader) (Perm, error) {
 		if err != nil && line == "" {
 			return nil, fmt.Errorf("sparse: after %d of %d entries: %w", len(p), n, err)
 		}
-		line = strings.TrimSpace(line)
-		if line == "" || strings.HasPrefix(line, "%") {
+		t := trimMMSpace([]byte(line))
+		if isCommentOrBlank(t) {
 			continue
 		}
-		v, err := strconv.Atoi(line)
-		if err != nil {
-			return nil, fmt.Errorf("sparse: bad permutation entry %q: %w", line, err)
+		tok, rest := nextField(t)
+		if extra, _ := nextField(rest); len(extra) != 0 {
+			return nil, fmt.Errorf("sparse: malformed permutation entry %q: trailing %q", t, extra)
+		}
+		v, ok := atoiField(tok)
+		if !ok {
+			return nil, fmt.Errorf("sparse: bad permutation entry %q", t)
 		}
 		p = append(p, v-1)
+	}
+	// Mirror the matrix reader's strictness: a permutation artifact holds
+	// exactly n entries, so trailing content is corruption.
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil && line == "" {
+			break
+		}
+		if t := trimMMSpace([]byte(line)); !isCommentOrBlank(t) {
+			return nil, fmt.Errorf("sparse: content after the declared %d entries: %q", n, t)
+		}
 	}
 	if !p.IsValid() {
 		return nil, fmt.Errorf("sparse: file does not contain a permutation")

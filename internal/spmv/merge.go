@@ -143,6 +143,9 @@ func errThreads(threads int) error {
 
 type threadsError struct{ threads int }
 
+// Error includes the offending value, matching NewPlan2D's diagnostic; the
+// original message dropped e.threads, which made "got 0" and "got -8"
+// indistinguishable in study logs.
 func (e *threadsError) Error() string {
-	return "spmv: threads must be >= 1"
+	return fmt.Sprintf("spmv: threads must be >= 1, got %d", e.threads)
 }

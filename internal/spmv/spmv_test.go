@@ -1,8 +1,10 @@
 package spmv
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
+	"strings"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -254,6 +256,23 @@ func TestNewPlan2DRejectsBadThreads(t *testing.T) {
 	a := randomCSR(rng, 4, 4, 6)
 	if _, err := NewPlan2D(a, 0); err == nil {
 		t.Error("accepted 0 threads")
+	}
+}
+
+// Both plan constructors must report the rejected thread count in the
+// error text; the merge kernel's threadsError used to drop its stored
+// value, making "got 0" and "got -8" indistinguishable in study logs.
+func TestBadThreadsErrorReportsValue(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := randomCSR(rng, 4, 4, 6)
+	for _, threads := range []int{0, -8} {
+		want := fmt.Sprintf("got %d", threads)
+		if _, err := NewPlan2D(a, threads); err == nil || !strings.Contains(err.Error(), want) {
+			t.Errorf("NewPlan2D(%d) error = %v, want it to contain %q", threads, err, want)
+		}
+		if _, err := NewPlanMerge(a, threads); err == nil || !strings.Contains(err.Error(), want) {
+			t.Errorf("NewPlanMerge(%d) error = %v, want it to contain %q", threads, err, want)
+		}
 	}
 }
 

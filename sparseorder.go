@@ -40,6 +40,15 @@ func NewCOO(rows, cols, nnz int) *COO { return sparse.NewCOO(rows, cols, nnz) }
 // real/integer/pattern, general/symmetric/skew-symmetric) into CSR form.
 func ReadMatrixMarket(r io.Reader) (*Matrix, error) { return sparse.ReadMatrixMarket(r) }
 
+// ReadMatrixMarketWorkers parses a Matrix Market stream with the parallel
+// streaming ingestion pipeline: the entry section is split into
+// line-aligned chunks parsed concurrently by workers goroutines
+// (0 = GOMAXPROCS) and assembled into CSR in parallel. The result is
+// byte-identical to ReadMatrixMarket at every worker count.
+func ReadMatrixMarketWorkers(r io.Reader, workers int) (*Matrix, error) {
+	return sparse.ReadMatrixMarketWorkers(r, workers)
+}
+
 // WriteMatrixMarket writes m in coordinate real general format.
 func WriteMatrixMarket(w io.Writer, m *Matrix) error { return sparse.WriteMatrixMarket(w, m) }
 
