@@ -8,6 +8,7 @@
 package sparseorder_test
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"testing"
@@ -227,6 +228,27 @@ func BenchmarkReorder(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkReorderWorkers runs every ordering serial (workers=1) and
+// parallel (workers=4) on a matrix above the parallel engagement thresholds
+// (6400 vertices clears amdMultiMinVerts and the ND/GP/HP fork minimums),
+// so the CI benchmark smoke compiles and exercises each parallel ordering
+// path. The BENCH_reorder.json speedups are measured at study scale by
+// `study -exp benchreorder`, not here.
+func BenchmarkReorderWorkers(b *testing.B) {
+	a := gen.Scramble(gen.Grid2D(80, 80), 3)
+	for _, alg := range reorder.Algorithms {
+		for _, w := range []int{1, 4} {
+			b.Run(fmt.Sprintf("%s/workers=%d", alg, w), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := reorder.Compute(alg, a, reorder.Options{Seed: 1, Parts: 32, Workers: w}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }
 
@@ -474,14 +496,14 @@ func BenchmarkParallelBisection(b *testing.B) {
 	}
 	b.Run("serial", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, _, err := partition.KWay(g, 32, partition.Options{Seed: 2}); err != nil {
+			if _, _, err := partition.KWay(g, 32, partition.Options{Seed: 2, Workers: 1}); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("parallel", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, _, err := partition.KWay(g, 32, partition.Options{Seed: 2, Parallel: true}); err != nil {
+			if _, _, err := partition.KWay(g, 32, partition.Options{Seed: 2, Workers: 0}); err != nil {
 				b.Fatal(err)
 			}
 		}

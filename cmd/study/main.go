@@ -61,9 +61,12 @@
 // every exit path, including interrupt (exit 3) and partial failure
 // (exit 2).
 //
-// -exp benchreorder measures the reordering hot path serial vs parallel
-// and prints the BENCH_reorder.json document (also written to -out DIR
-// when given). -exp benchingest measures Matrix Market ingestion — the
+// -exp benchreorder measures the reordering hot path serial vs parallel —
+// including the five ordering pipelines rcm/amd/nd/gp/hp — and prints the
+// BENCH_reorder.json document (also written to -out DIR when given). The
+// committed numbers are taken at -scale study; -scale test shrinks the
+// bench matrices to CI-smoke sizes. -exp benchingest measures Matrix
+// Market ingestion — the
 // serial reference reader vs the parallel streaming pipeline — and prints
 // BENCH_ingest.json. -exp benchobs measures the observability layer's
 // disabled-path overhead and prints BENCH_obs.json.
@@ -401,7 +404,7 @@ func run() (code int) {
 			counts = append(counts, g)
 		}
 		bench, err := experiments.RunReorderBench(
-			experiments.ReorderBenchMatrices(*seed), counts, *repeats)
+			experiments.ReorderBenchMatrices(*seed, scale), counts, *repeats)
 		if err != nil {
 			lg.Errorf("%v", err)
 			return exitFatal

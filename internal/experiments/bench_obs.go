@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"sparseorder/internal/gen"
 	"sparseorder/internal/obs"
 	"sparseorder/internal/reorder"
 )
@@ -112,7 +113,7 @@ func RunObsBench(seed int64, repeats int) (*ObsBench, error) {
 	// Pipeline: the instrumented reordering pipeline end to end. RCM is
 	// the PR 2 benchmark's hot path; GP additionally exercises the
 	// partitioner Phase timings, the layer's highest-frequency call site.
-	a := ReorderBenchMatrices(seed)[0].A
+	a := ReorderBenchMatrices(seed, gen.ScaleStudy)[0].A
 	for _, alg := range []reorder.Algorithm{reorder.RCM, reorder.GP} {
 		var nosink float64
 		for _, mode := range []struct {

@@ -90,10 +90,10 @@ type IngestBenchRun struct {
 }
 
 // IngestBenchMatrices returns the inputs for RunIngestBench: the same
-// ≥1M-nonzero generated matrices the reordering bench uses, so the two
-// committed benchmark documents describe the same corpus.
+// ≥1M-nonzero generated matrices the reordering bench uses at study scale,
+// so the two committed benchmark documents describe the same corpus.
 func IngestBenchMatrices(seed int64) []gen.Matrix {
-	return ReorderBenchMatrices(seed)
+	return ReorderBenchMatrices(seed, gen.ScaleStudy)
 }
 
 // RunIngestBench measures Matrix Market ingestion serial vs parallel.

@@ -26,12 +26,11 @@ func KWayConnectivity(h *Hypergraph, k int, opts Options) ([]int32, int, error) 
 	if k == 1 {
 		return part, 0, nil
 	}
-	rng := rand.New(rand.NewSource(opts.Seed))
 	verts := make([]int32, h.V)
 	for i := range verts {
 		verts[i] = int32(i)
 	}
-	recursiveConn(h, verts, 0, k, part, opts, rng)
+	recursiveConn(h, verts, 0, k, part, opts, opts.Seed, par.NewLimiter(opts.Workers))
 	if par.Canceled(opts.Cancel) {
 		return nil, 0, context.Canceled
 	}
@@ -53,7 +52,10 @@ func KWayConnectivityCtx(ctx context.Context, h *Hypergraph, k int, opts Options
 	return part, cut, err
 }
 
-func recursiveConn(root *Hypergraph, verts []int32, firstPart, k int, part []int32, opts Options, rng *rand.Rand) {
+// recursiveConn mirrors recursive (kway.go) under the connectivity-1
+// subproblem rule: per-branch deterministic seeds, disjoint part writes,
+// goroutines bounded by lim.
+func recursiveConn(root *Hypergraph, verts []int32, firstPart, k int, part []int32, opts Options, seed int64, lim *par.Limiter) {
 	if par.Canceled(opts.Cancel) {
 		return
 	}
@@ -66,7 +68,7 @@ func recursiveConn(root *Hypergraph, verts []int32, firstPart, k int, part []int
 	sub, orig := inducedSplit(root, verts)
 	kLeft := (k + 1) / 2
 	frac := float64(kLeft) / float64(k)
-	side := Bisect(sub, frac, opts, rng)
+	side := Bisect(sub, frac, opts, rand.New(rand.NewSource(seed)))
 	var left, right []int32
 	for i, s := range side {
 		if s == 0 {
@@ -81,8 +83,16 @@ func recursiveConn(root *Hypergraph, verts []int32, firstPart, k int, part []int
 	for _, v := range right {
 		part[v] = int32(firstPart + kLeft)
 	}
-	recursiveConn(root, left, firstPart, kLeft, part, opts, rng)
-	recursiveConn(root, right, firstPart+kLeft, k-kLeft, part, opts, rng)
+	leftSeed := seed*2654435761 + 1
+	rightSeed := seed*2654435761 + 2
+	if lim != nil && len(verts) > forkMinVerts {
+		lim.Fork(
+			func() { recursiveConn(root, left, firstPart, kLeft, part, opts, leftSeed, lim) },
+			func() { recursiveConn(root, right, firstPart+kLeft, k-kLeft, part, opts, rightSeed, lim) })
+		return
+	}
+	recursiveConn(root, left, firstPart, kLeft, part, opts, leftSeed, lim)
+	recursiveConn(root, right, firstPart+kLeft, k-kLeft, part, opts, rightSeed, lim)
 }
 
 // inducedSplit builds the sub-hypergraph on verts with net SPLITTING:

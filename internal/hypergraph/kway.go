@@ -22,12 +22,11 @@ func KWay(h *Hypergraph, k int, opts Options) ([]int32, int, error) {
 	if k == 1 {
 		return part, 0, nil
 	}
-	rng := rand.New(rand.NewSource(opts.Seed))
 	verts := make([]int32, h.V)
 	for i := range verts {
 		verts[i] = int32(i)
 	}
-	recursive(h, verts, 0, k, part, opts, rng)
+	recursive(h, verts, 0, k, part, opts, opts.Seed, par.NewLimiter(opts.Workers))
 	if par.Canceled(opts.Cancel) {
 		return nil, 0, context.Canceled
 	}
@@ -51,7 +50,16 @@ func KWayCtx(ctx context.Context, h *Hypergraph, k int, opts Options) ([]int32, 
 	return part, cut, err
 }
 
-func recursive(root *Hypergraph, verts []int32, firstPart, k int, part []int32, opts Options, rng *rand.Rand) {
+// forkMinVerts is the branch size below which the recursive bisections
+// stop forking and recurse inline.
+const forkMinVerts = 4096
+
+// recursive splits verts into parts firstPart … firstPart+k-1. Each
+// branch derives its own RNG seed (the same multiplicative derivation as
+// internal/partition), so the serial and parallel executions produce
+// identical partitions; the two branches write disjoint entries of part,
+// and lim bounds the live goroutines to the configured worker count.
+func recursive(root *Hypergraph, verts []int32, firstPart, k int, part []int32, opts Options, seed int64, lim *par.Limiter) {
 	if par.Canceled(opts.Cancel) {
 		return
 	}
@@ -64,7 +72,7 @@ func recursive(root *Hypergraph, verts []int32, firstPart, k int, part []int32, 
 	sub, orig := induced(root, verts)
 	kLeft := (k + 1) / 2
 	frac := float64(kLeft) / float64(k)
-	side := Bisect(sub, frac, opts, rng)
+	side := Bisect(sub, frac, opts, rand.New(rand.NewSource(seed)))
 	var left, right []int32
 	for i, s := range side {
 		if s == 0 {
@@ -81,8 +89,16 @@ func recursive(root *Hypergraph, verts []int32, firstPart, k int, part []int32, 
 	for _, v := range right {
 		part[v] = int32(firstPart + kLeft)
 	}
-	recursive(root, left, firstPart, kLeft, part, opts, rng)
-	recursive(root, right, firstPart+kLeft, k-kLeft, part, opts, rng)
+	leftSeed := seed*2654435761 + 1
+	rightSeed := seed*2654435761 + 2
+	if lim != nil && len(verts) > forkMinVerts {
+		lim.Fork(
+			func() { recursive(root, left, firstPart, kLeft, part, opts, leftSeed, lim) },
+			func() { recursive(root, right, firstPart+kLeft, k-kLeft, part, opts, rightSeed, lim) })
+		return
+	}
+	recursive(root, left, firstPart, kLeft, part, opts, leftSeed, lim)
+	recursive(root, right, firstPart+kLeft, k-kLeft, part, opts, rightSeed, lim)
 }
 
 // induced builds the sub-hypergraph on verts. Nets of the root hypergraph

@@ -82,6 +82,56 @@ func Ranges(n, workers int, fn func(chunk, lo, hi int)) {
 	wg.Wait()
 }
 
+// Limiter bounds the goroutines of a recursive fork-join (nested
+// dissection, recursive bisection): at most workers-1 branches run on
+// extra goroutines at any moment, and a branch that finds no token free
+// simply recurses inline. Determinism is the caller's part of the
+// contract — both forked branches must write disjoint state and derive
+// any randomness from per-branch seeds — after which the token schedule
+// can only change timing, never results. A nil Limiter runs every Fork
+// serially, which is the exact Workers=1 code path.
+type Limiter struct {
+	tokens chan struct{}
+}
+
+// NewLimiter returns a Limiter for the package worker convention
+// (0 = GOMAXPROCS, <=1 serial). A count resolving to 1 returns nil: the
+// serial limiter with zero overhead.
+func NewLimiter(workers int) *Limiter {
+	w := Resolve(workers)
+	if w <= 1 {
+		return nil
+	}
+	return &Limiter{tokens: make(chan struct{}, w-1)}
+}
+
+// Fork runs a and b and returns after both complete. When a goroutine
+// token is free, a runs on its own goroutine concurrently with b;
+// otherwise both run inline, so recursion never blocks waiting for a
+// token and the total goroutine count stays bounded by the worker count
+// regardless of recursion depth or shape.
+func (l *Limiter) Fork(a, b func()) {
+	if l == nil {
+		a()
+		b()
+		return
+	}
+	select {
+	case l.tokens <- struct{}{}:
+		join := make(chan struct{})
+		go func() {
+			defer close(join)
+			defer func() { <-l.tokens }()
+			a()
+		}()
+		b()
+		<-join
+	default:
+		a()
+		b()
+	}
+}
+
 // Do runs the given thunks concurrently when workers > 1 and sequentially
 // otherwise, returning after all complete. It is the fork-join primitive
 // for a small fixed set of independent jobs (e.g. the feature loops).

@@ -1,6 +1,7 @@
 package partition
 
 import (
+	"math"
 	"math/rand"
 
 	"sparseorder/internal/graph"
@@ -53,11 +54,21 @@ func Bisect(g *graph.Graph, frac float64, opts Options, rng *rand.Rand) []uint8 
 
 // initialBisection grows side 0 by repeated BFS region growing from random
 // seeds, keeping the attempt with the lowest cut among balanced attempts.
+// Balance uses the same per-side caps as fmRefine ((1+ε)·frac·total and
+// (1+ε)·(1-frac)·total): an overweight trial can never be repaired by FM,
+// which only vetoes moves into a full side and cannot drain one that is
+// already over its cap, so a balanced trial always wins over an
+// unbalanced one regardless of cut. Only when every trial is unbalanced
+// (heavy-vertex overshoot on weighted graphs) does the lowest-cut
+// unbalanced attempt survive as a fallback.
 func initialBisection(g *graph.Graph, frac float64, opts Options, rng *rand.Rand) []uint8 {
 	total := g.TotalVertexWeight()
 	target := int(frac * float64(total))
+	max0 := int(float64(total) * frac * (1 + opts.Imbalance))
+	max1 := int(float64(total) * (1 - frac) * (1 + opts.Imbalance))
 	best := make([]uint8, g.N)
 	bestCut := -1
+	bestBalanced := false
 	trial := make([]uint8, g.N)
 	for t := 0; t < opts.InitTrials; t++ {
 		if t > 0 && par.Canceled(opts.Cancel) {
@@ -76,8 +87,14 @@ func initialBisection(g *graph.Graph, frac float64, opts Options, rng *rand.Rand
 		visited[start] = true
 		for head := 0; head < len(queue) && w < target; head++ {
 			v := queue[head]
-			trial[v] = 0
-			w += g.VertexWeight(int(v))
+			// Growing past max0 would make the trial unrepairably overweight
+			// (coarse vertices carry aggregated weights, so one grab can blow
+			// the whole imbalance budget); leave v on side 1 and keep growing
+			// through lighter frontier vertices instead.
+			if wt := g.VertexWeight(int(v)); w+wt <= max0 {
+				trial[v] = 0
+				w += wt
+			}
 			for _, u := range g.Neighbors(int(v)) {
 				if !visited[u] {
 					visited[u] = true
@@ -88,14 +105,18 @@ func initialBisection(g *graph.Graph, frac float64, opts Options, rng *rand.Rand
 		// Disconnected graphs: the BFS may exhaust the component before
 		// reaching the target weight; keep absorbing unvisited vertices.
 		for v := 0; v < g.N && w < target; v++ {
-			if trial[v] == 1 {
+			if wt := g.VertexWeight(v); trial[v] == 1 && w+wt <= max0 {
 				trial[v] = 0
-				w += g.VertexWeight(v)
+				w += wt
 			}
 		}
 		cut := cutOf(g, trial)
-		if bestCut < 0 || cut < bestCut {
+		balanced := w <= max0 && total-w <= max1
+		switch {
+		case balanced && !bestBalanced,
+			balanced == bestBalanced && (bestCut < 0 || cut < bestCut):
 			bestCut = cut
+			bestBalanced = balanced
 			copy(best, trial)
 		}
 	}
@@ -149,15 +170,195 @@ func fmRefine(g *graph.Graph, side []uint8, frac float64, opts Options) {
 
 	gain := make([]int, g.N)
 	locked := make([]bool, g.N)
+	// The parallel engine (Workers resolving above 1) swaps in the lean FM
+	// pass: identical move sequence and output (see fmPassFast), but with
+	// O(1) incremental gain maintenance instead of per-neighbour rescans
+	// and a packed heap, keeping the per-branch hot loops short while
+	// branches run concurrently. Workers<=1 keeps the straightforward
+	// reference pass, the same reference/lean split the graph-build and
+	// permute paths use. The packed heap holds gains in int32; gains are
+	// bounded by the total edge weight, so graphs beyond that bound (none
+	// the generators produce) stay on the reference pass.
+	fast := par.Resolve(opts.Workers) > 1 && totalEdgeWeight(g) <= math.MaxInt32
+	var st fmFastState
 	for pass := 0; pass < opts.RefinePasses; pass++ {
 		if par.Canceled(opts.Cancel) {
 			return
 		}
-		improved := fmPass(g, side, gain, locked, &w, max0, max1)
+		var improved bool
+		if fast {
+			improved = fmPassFast(g, side, gain, locked, &w, max0, max1, &st)
+		} else {
+			improved = fmPass(g, side, gain, locked, &w, max0, max1)
+		}
 		if !improved {
 			break
 		}
 	}
+}
+
+// totalEdgeWeight sums the graph's edge weights (1 per edge slot when
+// unweighted); it bounds every FM gain's magnitude.
+func totalEdgeWeight(g *graph.Graph) int64 {
+	if g.EWgt == nil {
+		return int64(len(g.Adj))
+	}
+	var t int64
+	for _, w := range g.EWgt {
+		t += int64(w)
+	}
+	return t
+}
+
+// fmEntry32 is the packed heap entry of the lean FM pass: half the bytes
+// of fmEntry, halving the heap's memory traffic. Gains fit int32 because
+// fmRefine only selects the packed pass below that bound.
+type fmEntry32 struct {
+	v    int32
+	gain int32
+}
+
+// fmFastState carries fmPassFast's buffers across passes so their backing
+// arrays stay out of the allocator.
+type fmFastState struct {
+	heap  []fmEntry32
+	moves []fmEntry32
+}
+
+// fmPassFast is fmPass with the bookkeeping of the classic FM
+// implementation: when v moves off side s, a neighbour u's gain changes by
+// exactly +2·w(u,v) if u sits on s and -2·w(u,v) otherwise, so the
+// maintained gains equal the recomputed ones and the heap receives the
+// same entries in the same order. The packed hole-sifting heap performs
+// the same strict comparisons on the same values as the reference heap
+// and therefore reproduces its array layout and pop order exactly: the
+// move sequence, and with it the bisection, is byte-identical to the
+// reference pass at every worker count.
+func fmPassFast(g *graph.Graph, side []uint8, gain []int, locked []bool, w *[2]int, max0, max1 int, st *fmFastState) bool {
+	ew := g.EWgt
+	edgeWeight := func(k int) int {
+		if ew == nil {
+			return 1
+		}
+		return int(ew[k])
+	}
+
+	h := st.heap[:0]
+	for v := 0; v < g.N; v++ {
+		locked[v] = false
+		ext, inn := 0, 0
+		boundary := false
+		for k := g.Ptr[v]; k < g.Ptr[v+1]; k++ {
+			if side[g.Adj[k]] != side[v] {
+				ext += edgeWeight(k)
+				boundary = true
+			} else {
+				inn += edgeWeight(k)
+			}
+		}
+		gain[v] = ext - inn
+		if gain[v] > 0 || boundary {
+			h = append(h, fmEntry32{int32(v), int32(gain[v])})
+		}
+	}
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		heapDown32(h, i, h[i])
+	}
+
+	moves := st.moves[:0]
+	cumGain, bestGain, bestIdx := 0, 0, -1
+	maxW := [2]int{max0, max1}
+
+	for len(h) > 0 {
+		// Pop: hole-sift the former last element down from the root.
+		e := h[0]
+		last := h[len(h)-1]
+		h = h[:len(h)-1]
+		if len(h) > 0 {
+			heapDown32(h, 0, last)
+		}
+		v := int(e.v)
+		if locked[v] || int(e.gain) != gain[v] {
+			continue // stale entry
+		}
+		from := side[v]
+		to := 1 - from
+		if w[to]+g.VertexWeight(v) > maxW[to] {
+			continue // move would violate balance
+		}
+		locked[v] = true
+		w[from] -= g.VertexWeight(v)
+		side[v] = to
+		w[to] += g.VertexWeight(v)
+		cumGain += int(e.gain)
+		moves = append(moves, e)
+		if cumGain > bestGain {
+			bestGain = cumGain
+			bestIdx = len(moves) - 1
+		}
+		for k := g.Ptr[v]; k < g.Ptr[v+1]; k++ {
+			u := g.Adj[k]
+			if locked[u] {
+				continue
+			}
+			// v left u's side (gain up) or joined it (gain down).
+			if side[u] == from {
+				gain[u] += 2 * edgeWeight(k)
+			} else {
+				gain[u] -= 2 * edgeWeight(k)
+			}
+			h = heapPush32(h, fmEntry32{u, int32(gain[u])})
+		}
+	}
+
+	for i := len(moves) - 1; i > bestIdx; i-- {
+		v := moves[i].v
+		w[side[v]] -= g.VertexWeight(int(v))
+		side[v] = 1 - side[v]
+		w[side[v]] += g.VertexWeight(int(v))
+	}
+	st.heap, st.moves = h, moves
+	return bestGain > 0
+}
+
+// heapDown32 sifts x down from slot i, moving strictly greater children up
+// into the hole instead of swapping — the same comparisons as heapDown, so
+// the same final layout, with one write per level instead of three.
+func heapDown32(h []fmEntry32, i int, x fmEntry32) {
+	n := len(h)
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && h[j2].gain > h[j1].gain {
+			j = j2
+		}
+		if h[j].gain <= x.gain {
+			break
+		}
+		h[i] = h[j]
+		i = j
+	}
+	h[i] = x
+}
+
+// heapPush32 appends e and hole-sifts it up; same comparisons and final
+// layout as heapPush.
+func heapPush32(h []fmEntry32, e fmEntry32) []fmEntry32 {
+	h = append(h, e)
+	j := len(h) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if e.gain <= h[i].gain {
+			break
+		}
+		h[j] = h[i]
+		j = i
+	}
+	h[j] = e
+	return h
 }
 
 func fmPass(g *graph.Graph, side []uint8, gain []int, locked []bool, w *[2]int, max0, max1 int) bool {

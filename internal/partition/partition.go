@@ -9,7 +9,6 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
-	"sync"
 
 	"sparseorder/internal/graph"
 	"sparseorder/internal/obs"
@@ -30,19 +29,26 @@ type Options struct {
 	// vertices. Default 64.
 	CoarsenTo int
 	// InitTrials is the number of greedy-graph-growing attempts for the
-	// initial bisection; the best cut wins. Default 4.
+	// initial bisection; the lowest-cut balanced attempt wins. Default 6:
+	// the balanced-attempt preference (see initialBisection) discards
+	// overweight trials, so a few extra attempts keep the candidate pool
+	// for the cut comparison as large as it was when every trial competed.
 	InitTrials int
 	// RefinePasses bounds the number of FM passes per level. Default 8.
 	RefinePasses int
 	// Matching selects the coarsening matching strategy; HeavyEdgeMatching
 	// (default) is what METIS uses, RandomMatching is kept as an ablation.
 	Matching MatchingStrategy
-	// Parallel runs the two branches of each recursive bisection in
-	// separate goroutines. Results are identical to the serial run because
-	// every branch derives its own deterministic RNG seed. The paper notes
+	// Workers bounds the goroutines of the parallel recursive bisection:
+	// the two branches of each bisection above parallelMinVerts vertices
+	// run as par.Limiter fork-join tasks, so at most Workers goroutines
+	// are live regardless of recursion depth (0 = GOMAXPROCS, 1 = the
+	// exact serial recursion). Results are identical at every worker
+	// count because each branch derives its own deterministic RNG seed
+	// and writes a disjoint slice of the part assignment. The paper notes
 	// (§4.7) that its reordering implementations are serial and sees
 	// parallelisation as an avenue for improvement; this is that avenue.
-	Parallel bool
+	Workers int
 	// Cancel, when non-nil, is polled at every bisection branch, coarsening
 	// level, initial-bisection trial and refinement pass; once it is closed
 	// the partitioner unwinds promptly. The part assignment returned after
@@ -77,7 +83,7 @@ func (o Options) withDefaults() Options {
 		o.CoarsenTo = 64
 	}
 	if o.InitTrials == 0 {
-		o.InitTrials = 4
+		o.InitTrials = 6
 	}
 	if o.RefinePasses == 0 {
 		o.RefinePasses = 8
@@ -102,7 +108,7 @@ func KWay(g *graph.Graph, k int, opts Options) ([]int32, int, error) {
 	for i := range verts {
 		verts[i] = int32(i)
 	}
-	recursiveBisect(g, verts, 0, k, part, opts, opts.Seed)
+	recursiveBisect(g, verts, 0, k, part, opts, opts.Seed, par.NewLimiter(opts.Workers))
 	if par.Canceled(opts.Cancel) {
 		return nil, 0, context.Canceled
 	}
@@ -126,12 +132,19 @@ func KWayCtx(ctx context.Context, g *graph.Graph, k int, opts Options) ([]int32,
 	return part, cut, err
 }
 
+// parallelMinVerts is the branch size below which recursiveBisect stops
+// forking: small subproblems recurse inline because the fork bookkeeping
+// costs more than it recovers.
+const parallelMinVerts = 4096
+
 // recursiveBisect partitions the subgraph induced by verts into parts
 // firstPart … firstPart+k-1, writing assignments into part. Each branch
 // derives its own RNG from seed, so the serial and parallel executions
 // produce identical partitions. The two sub-branches write to disjoint
-// entries of part, making the parallel recursion race-free.
-func recursiveBisect(g *graph.Graph, verts []int32, firstPart, k int, part []int32, opts Options, seed int64) {
+// entries of part, making the parallel recursion race-free; lim bounds
+// the live goroutines to the configured worker count (a nil lim recurses
+// serially).
+func recursiveBisect(g *graph.Graph, verts []int32, firstPart, k int, part []int32, opts Options, seed int64, lim *par.Limiter) {
 	if par.Canceled(opts.Cancel) {
 		return
 	}
@@ -156,19 +169,14 @@ func recursiveBisect(g *graph.Graph, verts []int32, firstPart, k int, part []int
 	}
 	leftSeed := seed*2654435761 + 1
 	rightSeed := seed*2654435761 + 2
-	if opts.Parallel && len(verts) > 4096 {
-		var wg sync.WaitGroup
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			recursiveBisect(g, left, firstPart, kLeft, part, opts, leftSeed)
-		}()
-		recursiveBisect(g, right, firstPart+kLeft, k-kLeft, part, opts, rightSeed)
-		wg.Wait()
+	if lim != nil && len(verts) > parallelMinVerts {
+		lim.Fork(
+			func() { recursiveBisect(g, left, firstPart, kLeft, part, opts, leftSeed, lim) },
+			func() { recursiveBisect(g, right, firstPart+kLeft, k-kLeft, part, opts, rightSeed, lim) })
 		return
 	}
-	recursiveBisect(g, left, firstPart, kLeft, part, opts, leftSeed)
-	recursiveBisect(g, right, firstPart+kLeft, k-kLeft, part, opts, rightSeed)
+	recursiveBisect(g, left, firstPart, kLeft, part, opts, leftSeed, lim)
+	recursiveBisect(g, right, firstPart+kLeft, k-kLeft, part, opts, rightSeed, lim)
 }
 
 // EdgeCut returns the total weight of edges crossing between different

@@ -290,20 +290,22 @@ func TestHeavyEdgeMatchIsMatching(t *testing.T) {
 
 func TestParallelBisectionMatchesSerial(t *testing.T) {
 	g := gridGraph(t, 90, 90) // above the 4096-vertex parallel threshold
-	serial, cutS, err := KWay(g, 8, Options{Seed: 5})
+	serial, cutS, err := KWay(g, 8, Options{Seed: 5, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, cutP, err := KWay(g, 8, Options{Seed: 5, Parallel: true})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if cutS != cutP {
-		t.Fatalf("parallel cut %d != serial %d", cutP, cutS)
-	}
-	for v := range serial {
-		if serial[v] != par[v] {
-			t.Fatalf("parallel and serial partitions diverge at vertex %d", v)
+	for _, workers := range []int{0, 2, 4, 7} {
+		par, cutP, err := KWay(g, 8, Options{Seed: 5, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cutS != cutP {
+			t.Fatalf("workers=%d cut %d != serial %d", workers, cutP, cutS)
+		}
+		for v := range serial {
+			if serial[v] != par[v] {
+				t.Fatalf("workers=%d partition diverges from serial at vertex %d", workers, v)
+			}
 		}
 	}
 }

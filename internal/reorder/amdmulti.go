@@ -1,0 +1,355 @@
+package reorder
+
+import (
+	"sort"
+
+	"sparseorder/internal/graph"
+	"sparseorder/internal/obs"
+	"sparseorder/internal/par"
+	"sparseorder/internal/sparse"
+)
+
+// amdMultiMinVerts is the graph size below which the multiple-elimination
+// AMD falls back to the serial quotient-graph core: small problems finish
+// faster serially than a round structure can schedule them. The cutover
+// depends only on the graph, never on the worker count, so the ordering
+// stays byte-identical at any Workers value.
+const amdMultiMinVerts = 4096
+
+// ApproxMinimumDegreeWorkers is ApproxMinimumDegree with the rounds of a
+// multiple-elimination scheme (Chang, Buluç & Demmel: eliminate a
+// distance-2 independent set of near-minimum-degree pivots per round)
+// running the per-pivot quotient-graph updates on up to workers
+// goroutines. The pivot set and its elimination order are fixed serially
+// before any parallel work (ties break to the lowest vertex id), and
+// distance-2 independence makes the per-pivot updates touch disjoint
+// state, so the permutation is byte-identical at every worker count.
+// Graphs below amdMultiMinVerts vertices take the serial core unchanged.
+func ApproxMinimumDegreeWorkers(g *graph.Graph, workers int) sparse.Perm {
+	return approxMinimumDegreeWorkers(g, workers, nil, nil)
+}
+
+// approxMinimumDegreeWorkers is the cancellable dispatcher behind the
+// exported entry point and the Compute AMD path.
+func approxMinimumDegreeWorkers(g *graph.Graph, workers int, o *obs.Obs, done <-chan struct{}) sparse.Perm {
+	if g.N < amdMultiMinVerts {
+		return approxMinimumDegree(g, done)
+	}
+	return approxMinimumDegreeMulti(g, workers, o, done)
+}
+
+// amdState is the shared quotient graph of the multiple-elimination AMD;
+// see approxMinimumDegree for the roles of the fields. During a round's
+// parallel phase each selected pivot's update touches only its own
+// distance-≤1 neighbourhood, and distance-2 independence makes those
+// neighbourhoods disjoint — every slot of every field is written by at
+// most one goroutine per round.
+type amdState struct {
+	adj       [][]int32 // A_i: variable-variable adjacency
+	elems     [][]int32 // E_i: elements adjacent to variable i
+	pins      [][]int32 // L_e: pins of element e (e = pivot id)
+	alive     []bool    // variable not yet eliminated
+	elemAlive []bool
+	deg       []int
+}
+
+// amdScratch is one worker's private generation-marked scratch: mark
+// tracks L_p membership, w/wtag the |L_e \ L_p| counting sweep, lp the
+// pivot's pin list under construction.
+type amdScratch struct {
+	mark []int32
+	gen  int32
+	w    []int
+	wtag []int32
+	wgen int32
+	lp   []int32
+}
+
+// neighborhood appends v's current quotient-graph neighbours (alive
+// variables reachable through A_v or through an alive element) to buf.
+// Duplicates are fine: the callers only mark or test membership.
+func (st *amdState) neighborhood(v int32, buf []int32) []int32 {
+	for _, u := range st.adj[v] {
+		if st.alive[u] {
+			buf = append(buf, u)
+		}
+	}
+	for _, e := range st.elems[v] {
+		if !st.elemAlive[e] {
+			continue
+		}
+		for _, u := range st.pins[e] {
+			if u != v && st.alive[u] {
+				buf = append(buf, u)
+			}
+		}
+	}
+	return buf
+}
+
+// approxMinimumDegreeMulti is the multiple-elimination AMD. Each round:
+//
+//  1. (serial) Collect the alive vertices in the near-minimum degree band
+//     [minDeg, minDeg+1+minDeg/16] from the lazy bucket queue, order them
+//     by (degree, id), and greedily select a distance-2 independent
+//     subset — no two pivots adjacent and no shared neighbour — so their
+//     eliminations commute and touch disjoint quotient-graph state.
+//  2. (parallel) Eliminate every selected pivot: build L_p, absorb its
+//     elements, run the counting sweep and degree updates — exactly the
+//     serial core's update, on per-worker scratch.
+//  3. (serial) Append the pivots to the ordering in selection order and
+//     requeue their pins at the new degrees.
+//
+// The result depends only on the graph (it is NOT the serial core's
+// ordering — see DESIGN.md on the one-time output change), never on the
+// worker count or scheduling.
+func approxMinimumDegreeMulti(g *graph.Graph, workers int, o *obs.Obs, done <-chan struct{}) sparse.Perm {
+	n := g.N
+	if n == 0 {
+		return sparse.Perm{}
+	}
+	st := &amdState{
+		adj:       make([][]int32, n),
+		elems:     make([][]int32, n),
+		pins:      make([][]int32, n),
+		alive:     make([]bool, n),
+		elemAlive: make([]bool, n),
+		deg:       make([]int, n),
+	}
+	for v := 0; v < n; v++ {
+		st.adj[v] = append([]int32(nil), g.Neighbors(v)...)
+		st.deg[v] = len(st.adj[v])
+		st.alive[v] = true
+	}
+
+	// Lazy bucket queue over degrees, compacted as buckets are scanned.
+	buckets := make([][]int32, n+1)
+	for v := 0; v < n; v++ {
+		buckets[st.deg[v]] = append(buckets[st.deg[v]], int32(v))
+	}
+	minDeg := 0
+
+	w := par.Resolve(workers)
+	scratch := make([]*amdScratch, par.Chunks(n, w))
+	blocked := make([]int32, n)  // round-stamped: pivot or pivot-adjacent
+	candSeen := make([]int32, n) // round-stamped candidate dedup
+	var round int32
+	var cands, S, nbuf []int32
+	order := make(sparse.Perm, 0, n)
+	selPhase := o.Phase("amd/select")
+	elimPhase := o.Phase("amd/eliminate")
+
+	for len(order) < n {
+		if par.Canceled(done) {
+			return order
+		}
+		round++
+		tm := selPhase.Start()
+		// Advance minDeg to the first bucket holding a live entry,
+		// dropping stale (dead or re-queued) entries along the way.
+		for minDeg <= n {
+			b := buckets[minDeg]
+			kept := b[:0]
+			for _, v := range b {
+				if st.alive[v] && st.deg[v] == minDeg {
+					kept = append(kept, v)
+				}
+			}
+			buckets[minDeg] = kept
+			if len(kept) > 0 {
+				break
+			}
+			minDeg++
+		}
+		// Candidates: the near-minimum band, each bucket compacted as it
+		// is scanned so stale entries are not re-visited every round.
+		thr := minDeg + 1 + minDeg/16
+		if thr > n {
+			thr = n
+		}
+		cands = cands[:0]
+		for d := minDeg; d <= thr; d++ {
+			b := buckets[d]
+			kept := b[:0]
+			for _, v := range b {
+				if st.alive[v] && st.deg[v] == d {
+					kept = append(kept, v)
+					if candSeen[v] != round {
+						candSeen[v] = round
+						cands = append(cands, v)
+					}
+				}
+			}
+			buckets[d] = kept
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			di, dj := st.deg[cands[i]], st.deg[cands[j]]
+			if di != dj {
+				return di < dj
+			}
+			return cands[i] < cands[j]
+		})
+		// Greedy distance-2 independent set in (degree, id) order: the
+		// lowest-id minimum-degree vertex always wins — the deterministic
+		// tie-break of the determinism contract.
+		S = S[:0]
+		for ci, v := range cands {
+			if ci%amdCheckEvery == amdCheckEvery-1 && par.Canceled(done) {
+				break
+			}
+			if blocked[v] == round {
+				continue
+			}
+			nbuf = st.neighborhood(v, nbuf[:0])
+			ok := true
+			for _, u := range nbuf {
+				if blocked[u] == round {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			S = append(S, v)
+			blocked[v] = round
+			for _, u := range nbuf {
+				blocked[u] = round
+			}
+		}
+		tm.Stop()
+		// S is never empty: the first candidate is always selected, so the
+		// loop makes progress every round.
+		nLeft := n - len(order) - len(S)
+		tm = elimPhase.Start()
+		par.Ranges(len(S), w, func(chunk, lo, hi int) {
+			sc := scratch[chunk]
+			if sc == nil {
+				sc = &amdScratch{
+					mark: make([]int32, n),
+					w:    make([]int, n),
+					wtag: make([]int32, n),
+				}
+				scratch[chunk] = sc
+			}
+			for si := lo; si < hi; si++ {
+				st.eliminate(S[si], nLeft, sc)
+			}
+		})
+		tm.Stop()
+		// Commit serially: pivots join the ordering in selection order and
+		// their pins re-enter the queue at their updated degrees.
+		for _, p := range S {
+			order = append(order, int(p))
+			for _, i := range st.pins[p] {
+				d := st.deg[i]
+				buckets[d] = append(buckets[d], i)
+				if d < minDeg {
+					minDeg = d
+				}
+			}
+		}
+	}
+	return order
+}
+
+// eliminate runs one pivot's quotient-graph elimination — the exact
+// update step of the serial core (see approxMinimumDegree) on per-worker
+// scratch. nLeft is the round's shared n-k degree bound.
+func (st *amdState) eliminate(p int32, nLeft int, sc *amdScratch) {
+	sc.gen++
+	gen := sc.gen
+	sc.mark[p] = gen
+	lp := sc.lp[:0]
+	for _, u := range st.adj[p] {
+		if st.alive[u] && sc.mark[u] != gen {
+			sc.mark[u] = gen
+			lp = append(lp, u)
+		}
+	}
+	for _, e := range st.elems[p] {
+		if !st.elemAlive[e] {
+			continue
+		}
+		for _, u := range st.pins[e] {
+			if st.alive[u] && sc.mark[u] != gen {
+				sc.mark[u] = gen
+				lp = append(lp, u)
+			}
+		}
+		st.elemAlive[e] = false
+		st.pins[e] = nil
+	}
+	st.alive[p] = false
+	st.adj[p] = nil
+	st.elems[p] = nil
+	sc.lp = lp
+	if len(lp) == 0 {
+		return
+	}
+	pinsP := make([]int32, len(lp))
+	copy(pinsP, lp)
+	st.pins[p] = pinsP
+	st.elemAlive[p] = true
+
+	// Counting sweep: w[e] = |L_e \ L_p| for every alive element adjacent
+	// to a pin of p.
+	sc.wgen++
+	for _, i := range lp {
+		for _, e := range st.elems[i] {
+			if !st.elemAlive[e] {
+				continue
+			}
+			if sc.wtag[e] != sc.wgen {
+				sc.wtag[e] = sc.wgen
+				sc.w[e] = len(st.pins[e])
+			}
+			sc.w[e]--
+		}
+	}
+
+	for _, i := range lp {
+		a := st.adj[i][:0]
+		for _, u := range st.adj[i] {
+			if st.alive[u] && sc.mark[u] != gen {
+				a = append(a, u)
+			}
+		}
+		st.adj[i] = a
+
+		es := st.elems[i][:0]
+		extDeg := 0
+		for _, e := range st.elems[i] {
+			if !st.elemAlive[e] {
+				continue
+			}
+			if sc.wtag[e] == sc.wgen && sc.w[e] == 0 {
+				// Aggressive absorption: L_e ⊆ L_p, so e is redundant. An
+				// absorbable element has every pin inside L_p, so no other
+				// pivot's update can be looking at it.
+				st.elemAlive[e] = false
+				st.pins[e] = nil
+				continue
+			}
+			es = append(es, e)
+			if sc.wtag[e] == sc.wgen {
+				extDeg += sc.w[e]
+			} else {
+				extDeg += len(st.pins[e])
+			}
+		}
+		st.elems[i] = append(es, p)
+
+		d := len(st.adj[i]) + len(lp) - 1 + extDeg
+		if bound := st.deg[i] + len(lp) - 1; bound < d {
+			d = bound
+		}
+		if nLeft < d {
+			d = nLeft
+		}
+		if d < 0 {
+			d = 0
+		}
+		st.deg[i] = d
+	}
+}

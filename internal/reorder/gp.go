@@ -1,10 +1,12 @@
 package reorder
 
 import (
+	"context"
 	"sort"
 
 	"sparseorder/internal/graph"
 	"sparseorder/internal/hypergraph"
+	"sparseorder/internal/obs"
 	"sparseorder/internal/partition"
 	"sparseorder/internal/sparse"
 )
@@ -23,7 +25,12 @@ func GraphPartitionOrder(g *graph.Graph, opts Options) (sparse.Perm, error) {
 // cancellation surfaces as a partitioner error (context.Canceled).
 func graphPartitionOrder(g *graph.Graph, opts Options, done <-chan struct{}) (sparse.Perm, error) {
 	opts = opts.withDefaults()
-	part, _, err := partition.KWay(g, opts.Parts, partition.Options{Seed: opts.Seed, Cancel: done, Obs: opts.obs})
+	part, _, err := partition.KWay(g, opts.Parts, partition.Options{
+		Seed:    opts.Seed,
+		Workers: opts.Workers,
+		Cancel:  done,
+		Obs:     opts.obs,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -43,7 +50,12 @@ func HypergraphPartitionOrder(a *sparse.CSR, opts Options) (sparse.Perm, error) 
 func hypergraphPartitionOrder(a *sparse.CSR, opts Options, done <-chan struct{}) (sparse.Perm, error) {
 	opts = opts.withDefaults()
 	h := hypergraph.ColumnNet(a)
-	hopts := hypergraph.Options{Seed: opts.Seed, Cancel: done, Obs: opts.obs}
+	hopts := hypergraph.Options{
+		Seed:    opts.Seed,
+		Workers: opts.Workers,
+		Cancel:  done,
+		Obs:     opts.obs,
+	}
 	var part []int32
 	var err error
 	if opts.HPObjective == Connectivity {
@@ -62,8 +74,23 @@ func hypergraphPartitionOrder(a *sparse.CSR, opts Options, done <-chan struct{})
 // partitioner balances nonzeros instead of rows — the alternative METIS
 // balance criterion the paper describes in §3.3 but does not adopt.
 func GraphPartitionOrderWeighted(a *sparse.CSR, opts Options) (sparse.Perm, error) {
+	return GraphPartitionOrderWeightedCtx(context.Background(), a, opts)
+}
+
+// GraphPartitionOrderWeightedCtx is GraphPartitionOrderWeighted driven by a
+// context, with the same cancellation contract as ComputeCtx: the context's
+// done channel reaches the partitioner's coarsening, initial-bisection and
+// refinement loops, and a cancelled call returns the context's error, never
+// a partial permutation. An Obs carried by the context (obs.NewContext)
+// receives the partitioner's phase timings, and opts.Workers bounds the
+// partitioner's goroutines — the ablation path honours the same Options
+// fields as the production GP path instead of silently dropping them.
+func GraphPartitionOrderWeightedCtx(ctx context.Context, a *sparse.CSR, opts Options) (sparse.Perm, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	opts = opts.withDefaults()
-	g, err := graph.FromMatrixSymmetrized(a)
+	g, err := graph.FromMatrixSymmetrizedWorkers(a, opts.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -71,8 +98,16 @@ func GraphPartitionOrderWeighted(a *sparse.CSR, opts Options) (sparse.Perm, erro
 	for i := 0; i < a.Rows; i++ {
 		g.VWgt[i] = int32(a.RowNNZ(i))
 	}
-	part, _, err := partition.KWay(g, opts.Parts, partition.Options{Seed: opts.Seed})
+	part, _, err := partition.KWay(g, opts.Parts, partition.Options{
+		Seed:    opts.Seed,
+		Workers: opts.Workers,
+		Cancel:  ctx.Done(),
+		Obs:     obs.FromContext(ctx),
+	})
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	return orderByPart(part), nil

@@ -9,12 +9,22 @@ import (
 	"sparseorder/internal/sparse"
 )
 
+// ndForkMinVerts is the subproblem size below which dissect stops forking
+// and recurses inline; tiny branches cost more to schedule than to order.
+const ndForkMinVerts = 1024
+
 // NestedDissection orders g by recursive vertex dissection (paper §2.1.2):
 // a vertex separator splits the graph, the two halves are ordered first
 // (recursively) and the separator vertices are placed last, so that
 // eliminating them late keeps Cholesky fill low. Recursion stops below
 // opts.NDSmall vertices, where a minimum-degree ordering is used instead —
 // the same small-subproblem strategy METIS' node dissection applies.
+//
+// The two halves of every dissection run as fork-join tasks bounded by
+// opts.Workers: each branch derives its own deterministic RNG seed and
+// writes a disjoint segment of the permutation (left half first, right
+// half next, separator last), so the ordering is byte-identical at every
+// worker count.
 func NestedDissection(g *graph.Graph, opts Options) sparse.Perm {
 	return nestedDissection(g, opts, nil)
 }
@@ -25,30 +35,33 @@ func NestedDissection(g *graph.Graph, opts Options) sparse.Perm {
 // returns a partial permutation the caller must discard.
 func nestedDissection(g *graph.Graph, opts Options, done <-chan struct{}) sparse.Perm {
 	opts = opts.withDefaults()
-	rng := rand.New(rand.NewSource(opts.Seed))
-	perm := make(sparse.Perm, 0, g.N)
+	perm := make(sparse.Perm, g.N)
 	verts := make([]int32, g.N)
 	for i := range verts {
 		verts[i] = int32(i)
 	}
-	popts := partition.Options{Seed: opts.Seed, Cancel: done, Obs: opts.obs}
-	dissect(g, verts, opts, popts, rng, &perm)
+	popts := partition.Options{Workers: opts.Workers, Cancel: done, Obs: opts.obs}
+	dissect(g, verts, perm, opts, popts, opts.Seed, par.NewLimiter(opts.Workers))
 	return perm
 }
 
-func dissect(root *graph.Graph, verts []int32, opts Options, popts partition.Options, rng *rand.Rand, perm *sparse.Perm) {
+// dissect orders the subgraph induced by verts into out (len(out) ==
+// len(verts)): positions [0, |left|) hold the left half, [|left|,
+// |left|+|right|) the right half, and the tail the separator. seed is this
+// branch's RNG seed; children derive theirs with the same multiplicative
+// derivation recursiveBisect uses, so the ordering is a pure function of
+// (graph, opts.Seed) regardless of scheduling.
+func dissect(root *graph.Graph, verts []int32, out sparse.Perm, opts Options, popts partition.Options, seed int64, lim *par.Limiter) {
 	if len(verts) == 0 || par.Canceled(popts.Cancel) {
 		return
 	}
 	sub, orig := graph.InducedSubgraph(root, verts)
 	if len(verts) <= opts.NDSmall {
-		local := approxMinimumDegree(sub, popts.Cancel)
-		for _, v := range local {
-			*perm = append(*perm, int(orig[v]))
-		}
+		dissectLeaf(sub, orig, out, popts.Cancel)
 		return
 	}
-	label := partition.VertexSeparator(sub, popts, rng)
+	popts.Seed = seed
+	label := partition.VertexSeparator(sub, popts, rand.New(rand.NewSource(seed)))
 	var left, right, sep []int32
 	for i, l := range label {
 		switch l {
@@ -65,15 +78,34 @@ func dissect(root *graph.Graph, verts []int32, opts Options, popts partition.Opt
 	// separator also lands here (the partial label puts everything on one
 	// side) and unwinds through the AMD core's own done check.
 	if len(left) == 0 || len(right) == 0 {
-		local := approxMinimumDegree(sub, popts.Cancel)
-		for _, v := range local {
-			*perm = append(*perm, int(orig[v]))
-		}
+		dissectLeaf(sub, orig, out, popts.Cancel)
 		return
 	}
-	dissect(root, left, opts, popts, rng, perm)
-	dissect(root, right, opts, popts, rng, perm)
-	for _, v := range sep {
-		*perm = append(*perm, int(v))
+	leftOut := out[:len(left)]
+	rightOut := out[len(left) : len(left)+len(right)]
+	leftSeed := seed*2654435761 + 1
+	rightSeed := seed*2654435761 + 2
+	if lim != nil && len(verts) > ndForkMinVerts {
+		lim.Fork(
+			func() { dissect(root, left, leftOut, opts, popts, leftSeed, lim) },
+			func() { dissect(root, right, rightOut, opts, popts, rightSeed, lim) })
+	} else {
+		dissect(root, left, leftOut, opts, popts, leftSeed, lim)
+		dissect(root, right, rightOut, opts, popts, rightSeed, lim)
+	}
+	tail := out[len(left)+len(right):]
+	for i, v := range sep {
+		tail[i] = int(v)
+	}
+}
+
+// dissectLeaf orders a small (or degenerate) subproblem with the serial
+// AMD core, mapping its local ordering back through orig into out. After
+// a cancellation the partial AMD order fills only a prefix; the caller
+// discards the whole permutation once it observes the cancel.
+func dissectLeaf(sub *graph.Graph, orig []int32, out sparse.Perm, done <-chan struct{}) {
+	local := approxMinimumDegree(sub, done)
+	for i, v := range local {
+		out[i] = int(orig[v])
 	}
 }

@@ -1,0 +1,125 @@
+package reorder
+
+import (
+	"context"
+	"testing"
+
+	"sparseorder/internal/cholesky"
+	"sparseorder/internal/gen"
+	"sparseorder/internal/graph"
+	"sparseorder/internal/sparse"
+)
+
+// TestWorkersByteIdenticalLargeMatrix is the tentpole's determinism check
+// above the parallel size thresholds, where the small-matrix identity test
+// never leaves the serial paths: 6400 vertices engages ND's fork-join
+// dissection (>1024), AMD's multiple elimination (≥4096) and the forked
+// recursive bisections of GP and HP (>4096). Run under -race in CI this
+// doubles as the race check for every new parallel path.
+func TestWorkersByteIdenticalLargeMatrix(t *testing.T) {
+	a := gen.Scramble(gen.Grid2D(80, 80), 7)
+	for _, alg := range []Algorithm{AMD, ND, GP, HP} {
+		opts := Options{Seed: 3, Parts: 16, Workers: 1}
+		want, err := Compute(alg, a, opts)
+		if err != nil {
+			t.Fatalf("%s serial: %v", alg, err)
+		}
+		if len(want) != a.Rows || !want.IsValid() {
+			t.Fatalf("%s serial: invalid permutation", alg)
+		}
+		for _, w := range []int{2, 4, 7, 0} {
+			opts.Workers = w
+			got, err := Compute(alg, a, opts)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", alg, w, err)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s workers=%d: permutation differs from serial at %d", alg, w, i)
+				}
+			}
+		}
+	}
+}
+
+// TestAMDWorkersMatchesClassicBelowThreshold pins the dispatch rule: below
+// amdMultiMinVerts the Workers entry point must run the classic serial
+// elimination unchanged, whatever the worker count.
+func TestAMDWorkersMatchesClassicBelowThreshold(t *testing.T) {
+	a := gen.Scramble(gen.Grid2D(20, 20), 5) // 400 < amdMultiMinVerts
+	g, err := graph.FromMatrixSymmetrized(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := approxMinimumDegree(g, nil)
+	for _, w := range []int{1, 4, 0} {
+		got := ApproxMinimumDegreeWorkers(g, w)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: differs from classic AMD at %d", w, i)
+			}
+		}
+	}
+}
+
+// TestAMDMultiEliminationQuality checks that the multiple-elimination AMD
+// is a real minimum-degree ordering, not merely a valid permutation: on a
+// scrambled mesh its Cholesky fill must land well below the unordered
+// fill and within a modest factor of the classic serial elimination.
+func TestAMDMultiEliminationQuality(t *testing.T) {
+	a := gen.Scramble(gen.Grid2D(80, 80), 11) // 6400 ≥ amdMultiMinVerts
+	g, err := graph.FromMatrixSymmetrized(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill := func(p sparse.Perm) int64 {
+		t.Helper()
+		b, err := sparse.PermuteSymmetric(a, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nnz, err := cholesky.FactorNNZ(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return nnz
+	}
+	multi := ApproxMinimumDegreeWorkers(g, 4)
+	if len(multi) != g.N || !multi.IsValid() {
+		t.Fatal("multi-elimination AMD produced an invalid permutation")
+	}
+	multiFill := fill(multi)
+	classicFill := fill(approxMinimumDegree(g, nil))
+	origFill := fill(sparse.Identity(a.Rows))
+	if multiFill >= origFill {
+		t.Errorf("multi-elimination fill %d not below unordered fill %d", multiFill, origFill)
+	}
+	if float64(multiFill) > 1.5*float64(classicFill) {
+		t.Errorf("multi-elimination fill %d vs classic %d: more than 1.5x worse", multiFill, classicFill)
+	}
+}
+
+// TestWeightedGPHonorsContext is the regression test for the ablation path
+// dropping its context: GraphPartitionOrderWeightedCtx must fail fast on a
+// cancelled context and must agree with the plain entry point otherwise.
+func TestWeightedGPHonorsContext(t *testing.T) {
+	a := gen.Scramble(gen.Grid2D(30, 30), 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := GraphPartitionOrderWeightedCtx(ctx, a, Options{Seed: 1, Parts: 8}); err == nil {
+		t.Fatal("cancelled context produced a permutation instead of an error")
+	}
+	want, err := GraphPartitionOrderWeighted(a, Options{Seed: 1, Parts: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := GraphPartitionOrderWeightedCtx(context.Background(), a, Options{Seed: 1, Parts: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ctx variant differs from plain at %d", i)
+		}
+	}
+}
