@@ -128,7 +128,7 @@ func resolveMemBudget(v int64) int64 {
 	return lim - lim/10
 }
 
-// governor admits matrices into the worker pool through a byte-weighted
+// Governor admits work into a pool through a byte-weighted
 // budget semaphore and applies the degradation ladder when a matrix does
 // not fit:
 //
@@ -144,9 +144,9 @@ func resolveMemBudget(v int64) int64 {
 //  3. A matrix beyond soloOvercommit× the budget is rejected with
 //     ErrResourceBudget and recorded with failure class FailResource.
 //
-// A nil *governor (no budget configured) admits everything immediately;
+// A nil *Governor (no budget configured) admits everything immediately;
 // the nil path performs no allocation and no locking.
-type governor struct {
+type Governor struct {
 	budget  int64
 	soloCap int64
 
@@ -164,16 +164,23 @@ type governor struct {
 }
 
 // newGovernor builds the run's governor, or nil when no budget applies.
+func newGovernor(cfg Config) *Governor {
+	return NewGovernor(cfg.MemBudget, cfg.Obs)
+}
+
+// NewGovernor builds a byte-weighted admission governor over memBudget
+// (interpreted by resolveMemBudget: >0 literal bytes, 0 auto from
+// GOMEMLIMIT, <0 off), or nil — admit-everything — when no budget applies.
 // Telemetry handles are resolved once here so admission never touches the
-// registry.
-func newGovernor(cfg Config) *governor {
-	budget := resolveMemBudget(cfg.MemBudget)
+// registry; o (and o.Metrics) may be nil.
+func NewGovernor(memBudget int64, o *obs.Obs) *Governor {
+	budget := resolveMemBudget(memBudget)
 	if budget <= 0 {
 		return nil
 	}
-	g := &governor{budget: budget, soloCap: budget * soloOvercommit}
+	g := &Governor{budget: budget, soloCap: budget * soloOvercommit}
 	g.cond = sync.NewCond(&g.mu)
-	if o := cfg.Obs; o != nil && o.Metrics != nil {
+	if o != nil && o.Metrics != nil {
 		r := o.Metrics
 		r.Gauge("sparseorder_governor_budget_bytes",
 			"memory budget the governor admits matrices against").Set(float64(budget))
@@ -189,20 +196,20 @@ func newGovernor(cfg Config) *governor {
 	return g
 }
 
-// admission is a held budget grant; release returns the bytes (and, for a
+// Admission is a held budget grant; Release returns the bytes (and, for a
 // solo grant, the pool) to the governor.
-type admission struct {
-	g     *governor
+type Admission struct {
+	g     *Governor
 	bytes int64
 	solo  bool
 }
 
-// admit blocks until est bytes fit the budget (or, for oversized matrices
+// Acquire blocks until est bytes fit the budget (or, for oversized matrices
 // and solo retries, until the pool is drained), then grants them. It
 // returns (nil, nil) from a nil governor, (nil, ctx.Err()) when the run is
 // cancelled while waiting, and (nil, ErrResourceBudget-wrapped) for
 // matrices the budget can never accommodate.
-func (g *governor) admit(ctx context.Context, name string, est int64, wantSolo bool) (*admission, error) {
+func (g *Governor) Acquire(ctx context.Context, name string, est int64, wantSolo bool) (*Admission, error) {
 	if g == nil {
 		return nil, nil
 	}
@@ -257,12 +264,12 @@ func (g *governor) admit(ctx context.Context, name string, est int64, wantSolo b
 	if g.admittedC != nil {
 		g.admittedC.Add(uint64(est))
 	}
-	return &admission{g: g, bytes: est, solo: solo}, nil
+	return &Admission{g: g, bytes: est, solo: solo}, nil
 }
 
-// release returns the grant; safe on a nil admission (the nil-governor
+// Release returns the grant; safe on a nil admission (the nil-governor
 // path).
-func (a *admission) release() {
+func (a *Admission) Release() {
 	if a == nil {
 		return
 	}
@@ -278,6 +285,70 @@ func (a *admission) release() {
 	}
 	g.cond.Broadcast()
 	g.mu.Unlock()
+}
+
+// ErrGovernorSaturated reports that a non-blocking acquisition would have
+// had to wait: the budget is currently committed (or a solo admission
+// holds, or is waiting for, the pool). It is the load-shedding signal —
+// callers that cannot queue (the serving daemon) translate it into a
+// 429/Retry-After instead of blocking unboundedly.
+var ErrGovernorSaturated = errors.New("experiments: memory governor saturated")
+
+// TryAcquire is the non-blocking Acquire: it grants est bytes immediately
+// or reports why it cannot. It returns (nil, nil) from a nil governor,
+// (nil, ErrResourceBudget-wrapped) when est exceeds the budget — a
+// non-blocking caller can never use the solo-drain ladder, so anything
+// over the plain budget is a permanent refusal, not a transient one — and
+// (nil, ErrGovernorSaturated-wrapped) when the grant would have to wait.
+// Like Acquire, it yields to waiting solo admissions so a drained-pool
+// degradation cannot be starved by a stream of non-blocking probes.
+func (g *Governor) TryAcquire(name string, est int64) (*Admission, error) {
+	if g == nil {
+		return nil, nil
+	}
+	if est > g.budget {
+		if g.rejectedC != nil {
+			g.rejectedC.Inc()
+		}
+		return nil, fmt.Errorf("%w: %s needs ~%s, budget %s",
+			ErrResourceBudget, name, FormatBytes(est), FormatBytes(g.budget))
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.solo || g.soloWaiting > 0 || g.inUse+est > g.budget {
+		return nil, fmt.Errorf("%w: %s needs ~%s, %s of %s in use",
+			ErrGovernorSaturated, name, FormatBytes(est), FormatBytes(g.inUse), FormatBytes(g.budget))
+	}
+	g.inFlight++
+	g.inUse += est
+	if g.inUseG != nil {
+		g.inUseG.Set(float64(g.inUse))
+	}
+	if g.admittedC != nil {
+		g.admittedC.Add(uint64(est))
+	}
+	return &Admission{g: g, bytes: est}, nil
+}
+
+// Saturated reports whether a non-blocking acquisition of even one byte
+// would currently fail: the budget is fully committed or a solo admission
+// holds (or waits for) the pool. A nil governor is never saturated. The
+// serving daemon surfaces this state on /readyz.
+func (g *Governor) Saturated() bool {
+	if g == nil {
+		return false
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.solo || g.soloWaiting > 0 || g.inUse >= g.budget
+}
+
+// Budget returns the resolved byte budget (0 for a nil governor).
+func (g *Governor) Budget() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.budget
 }
 
 // byteUnits are the suffixes ParseByteSize accepts; both IEC (KiB) and SI

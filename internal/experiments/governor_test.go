@@ -77,7 +77,7 @@ func TestGovernorNarrowsConcurrency(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			adm, err := g.admit(context.Background(), "m", 40, false)
+			adm, err := g.Acquire(context.Background(), "m", 40, false)
 			if err != nil {
 				t.Error(err)
 				return
@@ -91,7 +91,7 @@ func TestGovernorNarrowsConcurrency(t *testing.T) {
 			}
 			time.Sleep(2 * time.Millisecond)
 			cur.Add(-1)
-			adm.release()
+			adm.Release()
 		}()
 	}
 	wg.Wait()
@@ -106,14 +106,14 @@ func TestGovernorNarrowsConcurrency(t *testing.T) {
 func TestGovernorSoloDrainsPool(t *testing.T) {
 	g := newGovernor(Config{MemBudget: 100})
 	ctx := context.Background()
-	small, err := g.admit(ctx, "small", 40, false)
+	small, err := g.Acquire(ctx, "small", 40, false)
 	if err != nil {
 		t.Fatal(err)
 	}
 
-	soloc := make(chan *admission, 1)
+	soloc := make(chan *Admission, 1)
 	go func() {
-		adm, err := g.admit(ctx, "big", 150, false) // over budget, under solo ceiling
+		adm, err := g.Acquire(ctx, "big", 150, false) // over budget, under solo ceiling
 		if err != nil {
 			t.Error(err)
 		}
@@ -127,9 +127,9 @@ func TestGovernorSoloDrainsPool(t *testing.T) {
 
 	// A tiny matrix that trivially fits must still queue behind the waiting
 	// solo admission (anti-starvation).
-	tinyc := make(chan *admission, 1)
+	tinyc := make(chan *Admission, 1)
 	go func() {
-		adm, err := g.admit(ctx, "tiny", 1, false)
+		adm, err := g.Acquire(ctx, "tiny", 1, false)
 		if err != nil {
 			t.Error(err)
 		}
@@ -141,8 +141,8 @@ func TestGovernorSoloDrainsPool(t *testing.T) {
 	case <-time.After(30 * time.Millisecond):
 	}
 
-	small.release()
-	var solo *admission
+	small.Release()
+	var solo *Admission
 	select {
 	case solo = <-soloc:
 	case <-time.After(2 * time.Second):
@@ -153,10 +153,10 @@ func TestGovernorSoloDrainsPool(t *testing.T) {
 		t.Fatal("admission granted while a solo matrix held the pool")
 	case <-time.After(30 * time.Millisecond):
 	}
-	solo.release()
+	solo.Release()
 	select {
 	case adm := <-tinyc:
-		adm.release()
+		adm.Release()
 	case <-time.After(2 * time.Second):
 		t.Fatal("queued admission never granted after the solo release")
 	}
@@ -167,7 +167,7 @@ func TestGovernorSoloDrainsPool(t *testing.T) {
 // non-retryable resource failure class.
 func TestGovernorRejectsOversized(t *testing.T) {
 	g := newGovernor(Config{MemBudget: 100})
-	_, err := g.admit(context.Background(), "huge", 201, false)
+	_, err := g.Acquire(context.Background(), "huge", 201, false)
 	if !errors.Is(err, ErrResourceBudget) {
 		t.Fatalf("err = %v, want ErrResourceBudget", err)
 	}
@@ -183,14 +183,14 @@ func TestGovernorRejectsOversized(t *testing.T) {
 // a waiting admission with the context's error.
 func TestGovernorAdmitCancel(t *testing.T) {
 	g := newGovernor(Config{MemBudget: 100})
-	hold, err := g.admit(context.Background(), "hold", 100, false)
+	hold, err := g.Acquire(context.Background(), "hold", 100, false)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cctx, cancel := context.WithCancel(context.Background())
 	errc := make(chan error, 1)
 	go func() {
-		_, err := g.admit(cctx, "waiter", 50, false)
+		_, err := g.Acquire(cctx, "waiter", 50, false)
 		errc <- err
 	}()
 	time.Sleep(10 * time.Millisecond)
@@ -203,20 +203,20 @@ func TestGovernorAdmitCancel(t *testing.T) {
 	case <-time.After(2 * time.Second):
 		t.Fatal("cancellation did not unblock the waiting admission")
 	}
-	hold.release()
+	hold.Release()
 }
 
 // TestGovernorNilZeroAlloc pins the disabled path: with no budget
 // configured the admit/release pair must not allocate or lock.
 func TestGovernorNilZeroAlloc(t *testing.T) {
-	var g *governor
+	var g *Governor
 	ctx := context.Background()
 	allocs := testing.AllocsPerRun(1000, func() {
-		adm, err := g.admit(ctx, "m", 1<<20, false)
+		adm, err := g.Acquire(ctx, "m", 1<<20, false)
 		if err != nil {
 			t.Fatal(err)
 		}
-		adm.release()
+		adm.Release()
 	})
 	if allocs != 0 {
 		t.Fatalf("nil governor admit/release allocates %v per call", allocs)
@@ -401,5 +401,107 @@ func TestRunStudySoloDegrade(t *testing.T) {
 		"cumulative estimated bytes admitted into the pool").Value()
 	if admitted == 0 {
 		t.Error("admitted-bytes counter stayed zero")
+	}
+}
+
+// TestGovernorTryAcquire covers the non-blocking probe the serving daemon
+// sheds load with: grants that fit are immediate, grants that would wait
+// return ErrGovernorSaturated, and over-budget requests are a permanent
+// ErrResourceBudget (a non-blocking caller can never ride the solo-drain
+// ladder).
+func TestGovernorTryAcquire(t *testing.T) {
+	g := NewGovernor(100, nil)
+	adm, err := g.TryAcquire("a", 60)
+	if err != nil || adm == nil {
+		t.Fatalf("TryAcquire(60) = %v, %v; want a grant", adm, err)
+	}
+	if g.Saturated() {
+		t.Error("Saturated() with 40 bytes free")
+	}
+	if _, err := g.TryAcquire("b", 50); !errors.Is(err, ErrGovernorSaturated) {
+		t.Errorf("TryAcquire past the budget = %v, want ErrGovernorSaturated", err)
+	}
+	if _, err := g.TryAcquire("huge", 101); !errors.Is(err, ErrResourceBudget) {
+		t.Errorf("TryAcquire(101) = %v, want ErrResourceBudget", err)
+	}
+	b, err := g.TryAcquire("b", 40)
+	if err != nil {
+		t.Fatalf("TryAcquire(40) = %v, want a grant", err)
+	}
+	if !g.Saturated() {
+		t.Error("Saturated() = false with the budget fully committed")
+	}
+	b.Release()
+	adm.Release()
+	if g.Saturated() {
+		t.Error("Saturated() = true after every grant was released")
+	}
+}
+
+// TestGovernorTryAcquireSoloEdge is the solo-admission edge: while a solo
+// admission waits for (or holds) the pool, TryAcquire must refuse even
+// trivially-fitting grants — otherwise a stream of non-blocking probes
+// could starve the drained-pool degradation forever.
+func TestGovernorTryAcquireSoloEdge(t *testing.T) {
+	g := NewGovernor(100, nil)
+	ctx := context.Background()
+	small, err := g.Acquire(ctx, "small", 40, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	soloc := make(chan *Admission, 1)
+	go func() {
+		adm, err := g.Acquire(ctx, "big", 150, false) // solo: waits for drain
+		if err != nil {
+			t.Error(err)
+		}
+		soloc <- adm
+	}()
+	// Wait until the solo admission is registered as waiting.
+	for i := 0; ; i++ {
+		g.mu.Lock()
+		waiting := g.soloWaiting
+		g.mu.Unlock()
+		if waiting > 0 {
+			break
+		}
+		if i > 400 {
+			t.Fatal("solo admission never started waiting")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, err := g.TryAcquire("tiny", 1); !errors.Is(err, ErrGovernorSaturated) {
+		t.Errorf("TryAcquire while a solo admission waits = %v, want ErrGovernorSaturated", err)
+	}
+	if !g.Saturated() {
+		t.Error("Saturated() = false while a solo admission waits")
+	}
+	small.Release()
+	solo := <-soloc
+	if _, err := g.TryAcquire("tiny", 1); !errors.Is(err, ErrGovernorSaturated) {
+		t.Errorf("TryAcquire while a solo admission holds the pool = %v, want ErrGovernorSaturated", err)
+	}
+	solo.Release()
+	adm, err := g.TryAcquire("tiny", 1)
+	if err != nil {
+		t.Fatalf("TryAcquire after the solo release = %v, want a grant", err)
+	}
+	adm.Release()
+}
+
+// TestGovernorTryAcquireNil pins the nil-governor contract: everything is
+// granted, nothing is saturated.
+func TestGovernorTryAcquireNil(t *testing.T) {
+	var g *Governor
+	adm, err := g.TryAcquire("m", 1<<40)
+	if err != nil || adm != nil {
+		t.Fatalf("nil governor TryAcquire = %v, %v; want nil, nil", adm, err)
+	}
+	adm.Release()
+	if g.Saturated() {
+		t.Error("nil governor reports saturated")
+	}
+	if g.Budget() != 0 {
+		t.Error("nil governor reports a budget")
 	}
 }

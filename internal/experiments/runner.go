@@ -312,10 +312,10 @@ feed:
 // next attempt is promoted to a solo admission (pool drained), the middle
 // rung of the degradation ladder. It returns the attempt count alongside
 // the final outcome.
-func evaluateWithRetry(ctx context.Context, m gen.Matrix, cfg Config, gov *governor, est int64, eval evalFunc, logf func(string, ...any)) (*MatrixResult, int, error) {
+func evaluateWithRetry(ctx context.Context, m gen.Matrix, cfg Config, gov *Governor, est int64, eval evalFunc, logf func(string, ...any)) (*MatrixResult, int, error) {
 	solo := false
 	for attempt := 1; ; attempt++ {
-		adm, aerr := gov.admit(ctx, m.Name, est, solo)
+		adm, aerr := gov.Acquire(ctx, m.Name, est, solo)
 		if aerr != nil {
 			// Either the run is stopping (context error, class canceled) or
 			// the matrix can never fit the budget (ErrResourceBudget, class
@@ -327,7 +327,7 @@ func evaluateWithRetry(ctx context.Context, m gen.Matrix, cfg Config, gov *gover
 				m.Name, FormatBytes(est), FormatBytes(gov.budget))
 		}
 		r, err := evaluateIsolated(ctx, m, cfg, eval, logf)
-		adm.release()
+		adm.Release()
 		if err == nil {
 			return r, attempt, nil
 		}

@@ -62,6 +62,16 @@ const (
 	ReorderGraph   Point = "reorder/graph"
 	ReorderOrder   Point = "reorder/order"
 	ReorderPermute Point = "reorder/permute"
+	// ServerDecode, ServerReorder, ServerCacheInsert and ServerSpMV fire
+	// on the request path of the serving daemon (internal/server): before
+	// the Matrix Market decode, before the ordering computation, before
+	// the plan-cache insert and before each SpMV execution. All four are
+	// keyed by the upload's content hash, so a schedule hits the same
+	// matrices in every run regardless of request interleaving.
+	ServerDecode      Point = "server/decode"
+	ServerReorder     Point = "server/reorder"
+	ServerCacheInsert Point = "server/cache"
+	ServerSpMV        Point = "server/spmv"
 )
 
 // Mode is what happens when a fault fires.

@@ -34,6 +34,17 @@ func (o *Obs) Handler() http.Handler {
 			"/debug/vars   expvar\n"+
 			"/debug/pprof/ profiling\n")
 	})
+	o.Mount(mux)
+	return mux
+}
+
+// Mount registers the telemetry endpoints — /metrics, /progress,
+// /debug/vars and /debug/pprof/* — on a caller-owned mux, so commands that
+// serve their own API (cmd/serve) expose the same endpoints as cmd/study's
+// -http without duplicating the wiring. The root route is left to the
+// caller. Mount is safe on a nil or partially-populated Obs: the metrics
+// and progress views degrade to empty documents.
+func (o *Obs) Mount(mux *http.ServeMux) {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		if o != nil && o.Metrics != nil {
@@ -56,7 +67,6 @@ func (o *Obs) Handler() http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	return mux
 }
 
 // Serve starts the live endpoint on addr (e.g. ":8080" or

@@ -114,3 +114,41 @@ func TestServeBadAddressFailsFast(t *testing.T) {
 		t.Error("bad address did not fail")
 	}
 }
+
+// TestMountSharesMux is the cmd/serve composition: telemetry endpoints
+// mounted onto a caller-owned mux coexist with the caller's own routes,
+// and the root stays under the caller's control.
+func TestMountSharesMux(t *testing.T) {
+	o := &Obs{Metrics: NewRegistry(), Progress: NewProgress()}
+	o.Metrics.Counter("sparseorder_test_total", "t").Inc()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "api")
+	})
+	o.Mount(mux)
+
+	res, body := get(t, mux, "/api")
+	if res.StatusCode != 200 || body != "api" {
+		t.Fatalf("/api = %d %q, want the caller's route", res.StatusCode, body)
+	}
+	res, body = get(t, mux, "/metrics")
+	if res.StatusCode != 200 || !strings.Contains(body, "sparseorder_test_total") {
+		t.Fatalf("/metrics = %d %q, want the mounted registry", res.StatusCode, body)
+	}
+	res, body = get(t, mux, "/progress")
+	if res.StatusCode != 200 {
+		t.Fatalf("/progress = %d", res.StatusCode)
+	}
+	var snap ProgressSnapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/progress not JSON: %v", err)
+	}
+	if res, _ := get(t, mux, "/debug/pprof/"); res.StatusCode != 200 {
+		t.Fatalf("/debug/pprof/ = %d", res.StatusCode)
+	}
+	// The root is the caller's: with no route registered it 404s instead of
+	// serving the study index.
+	if res, _ := get(t, mux, "/"); res.StatusCode != 404 {
+		t.Fatalf("/ = %d, want 404 on an unowned root", res.StatusCode)
+	}
+}

@@ -1,0 +1,678 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"runtime/debug"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sparseorder/internal/experiments"
+	"sparseorder/internal/faultinject"
+	"sparseorder/internal/obs"
+	"sparseorder/internal/reorder"
+	"sparseorder/internal/sparse"
+	"sparseorder/internal/spmv"
+)
+
+// Config parameterises the daemon. The zero value serves with GOMAXPROCS
+// SpMV threads, a 30s default deadline, a GOMAXPROCS-deep work pool with a
+// 2× queue, a 256 MiB body cap and no memory budget.
+type Config struct {
+	// Threads is the SpMV execution width and the thread count plans are
+	// built for. 0 means GOMAXPROCS.
+	Threads int
+	// ReorderWorkers bounds the parallel reordering pipeline per upload
+	// (reorder.Options.Workers). 0 means 1 (serial): uploads already run
+	// concurrently, so per-upload parallelism is opt-in. Any value
+	// produces byte-identical reordered matrices (the determinism
+	// contract), so cached and recomputed plans agree exactly.
+	ReorderWorkers int
+	// IngestWorkers is the Matrix Market decode parallelism
+	// (sparse.ReadMatrixMarketCtx). 0 means GOMAXPROCS.
+	IngestWorkers int
+	// Seed drives the randomized partitioner components; fixed per daemon
+	// so equal uploads yield byte-identical orderings. Default 42.
+	Seed int64
+	// Deadline caps each request's processing time; requests may shorten
+	// (never extend) it per-request with an X-Deadline-Ms header. The
+	// deadline propagates as a context into the cancellable orderings, so
+	// a wedged reorder stops within bounded work. 0 defaults to 30s;
+	// negative disables.
+	Deadline time.Duration
+	// MaxInflight bounds requests doing work concurrently; 0 means
+	// GOMAXPROCS.
+	MaxInflight int
+	// Queue bounds requests waiting for a work slot; arrivals beyond it
+	// are shed with 429. 0 means 2×MaxInflight; negative means no queue
+	// (every busy arrival sheds).
+	Queue int
+	// MaxBody caps upload bodies in bytes. 0 means 256 MiB.
+	MaxBody int64
+	// MemBudget is the byte budget of the admission governor shared by
+	// cache residency and in-flight reorder working sets: >0 literal,
+	// 0 auto from GOMEMLIMIT, <0 off (see experiments.NewGovernor).
+	MemBudget int64
+	// CacheEntries bounds the plan cache's entry count (the only bound
+	// when the governor is off). 0 means 256.
+	CacheEntries int
+	// RetryAfter is the hint sent with 429/503 responses. 0 means 1s.
+	RetryAfter time.Duration
+	// Obs receives request spans and metrics; nil disables telemetry.
+	Obs *obs.Obs
+	// Logf, when set, receives one line per admission anomaly (sheds,
+	// drain rejections) and lifecycle transition.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Threads <= 0 {
+		c.Threads = runtime.GOMAXPROCS(0)
+	}
+	if c.ReorderWorkers <= 0 {
+		c.ReorderWorkers = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.Deadline == 0 {
+		c.Deadline = 30 * time.Second
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = runtime.GOMAXPROCS(0)
+	}
+	if c.Queue == 0 {
+		c.Queue = 2 * c.MaxInflight
+	}
+	if c.Queue < 0 {
+		c.Queue = 0
+	}
+	if c.MaxBody <= 0 {
+		c.MaxBody = 256 << 20
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 256
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// Server is the reordering-as-a-service daemon: upload matrices, get SpMV
+// answers from cached plans. See the package comment for the robustness
+// contract; construct with New, serve Handler, stop with BeginDrain +
+// WaitIdle.
+type Server struct {
+	cfg   Config
+	gov   *experiments.Governor
+	cache *Cache
+
+	slots    chan struct{}
+	queued   atomic.Int64
+	inflight atomic.Int64
+
+	draining  atomic.Bool
+	drainCh   chan struct{}
+	drainOnce sync.Once
+
+	shedC  *obs.Counter // sparseorder_server_shed_total
+	drainC *obs.Counter // sparseorder_server_drain_rejected_total
+}
+
+// New builds the daemon from cfg.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		gov:     experiments.NewGovernor(cfg.MemBudget, cfg.Obs),
+		slots:   make(chan struct{}, cfg.MaxInflight),
+		drainCh: make(chan struct{}),
+	}
+	s.cache = NewCache(s.gov, cfg.CacheEntries, cfg.Obs)
+	if o := cfg.Obs; o != nil && o.Metrics != nil {
+		s.shedC = o.Metrics.Counter("sparseorder_server_shed_total",
+			"requests shed with 429 because the queue or memory governor was saturated")
+		s.drainC = o.Metrics.Counter("sparseorder_server_drain_rejected_total",
+			"requests rejected with 503 because the daemon was draining")
+	}
+	return s
+}
+
+// Governor exposes the admission governor (nil when no budget applies);
+// cmd/serve reports it at startup.
+func (s *Server) Governor() *experiments.Governor { return s.gov }
+
+// Cache exposes the plan cache for tests and stats.
+func (s *Server) Cache() *Cache { return s.cache }
+
+// BeginDrain flips the daemon into draining: /readyz goes 503, new API
+// requests are rejected with 503, queued requests waiting for a work slot
+// are released with 503, and in-flight requests run to completion.
+// Idempotent.
+func (s *Server) BeginDrain() {
+	s.drainOnce.Do(func() {
+		s.draining.Store(true)
+		close(s.drainCh)
+		if s.cfg.Logf != nil {
+			s.cfg.Logf("draining: intake stopped, %d in flight", s.inflight.Load())
+		}
+	})
+}
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// WaitIdle blocks until no request is in flight or ctx expires; the drain
+// step between BeginDrain and process exit.
+func (s *Server) WaitIdle(ctx context.Context) error {
+	for s.inflight.Load() > 0 {
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("server: drain incomplete, %d requests still in flight: %w",
+				s.inflight.Load(), ctx.Err())
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	return nil
+}
+
+// Handler returns the daemon's full route surface:
+//
+//	POST /matrices       upload a Matrix Market body; reorder + cache
+//	GET  /matrices/{key} metadata of a cached matrix
+//	POST /spmv/{key}     {"x":[...]} -> {"y":[...]} against the cached plan
+//	GET  /healthz        process liveness (200 while serving or draining)
+//	GET  /readyz         load acceptance (503 during overload and drain)
+//
+// plus, when cfg.Obs is set, the shared telemetry surface (/metrics,
+// /progress, /debug/pprof/*, /debug/vars) mounted via obs.Mount — the same
+// endpoints cmd/study -http serves.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /matrices", s.guard("upload", s.handleUpload))
+	mux.HandleFunc("GET /matrices/{key}", s.handleMeta)
+	mux.HandleFunc("POST /spmv/{key}", s.guard("spmv", s.handleSpMV))
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	if s.cfg.Obs != nil {
+		s.cfg.Obs.Mount(mux)
+	}
+	return mux
+}
+
+// apiError is a classified failure response: the JSON body carries the
+// study's failure-class taxonomy so clients can tell a retryable timeout
+// from a deterministic error or a permanent resource refusal.
+type apiError struct {
+	Error string                   `json:"error"`
+	Class experiments.FailureClass `json:"class"`
+}
+
+// statusClientClosed is nginx's 499: the client went away (request
+// context canceled) before a response was produced.
+const statusClientClosed = 499
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, class experiments.FailureClass, msg string) {
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After",
+			strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+	}
+	writeJSON(w, status, apiError{Error: msg, Class: class})
+}
+
+// classStatus maps a classified evaluation failure onto an HTTP status.
+// errStatus is the status of the deterministic-error class, which differs
+// by site: a failing decode is the client's fault (400), a failing reorder
+// or SpMV is ours (500).
+func classStatus(class experiments.FailureClass, errStatus int) int {
+	switch class {
+	case experiments.FailTimeout:
+		return http.StatusGatewayTimeout
+	case experiments.FailCanceled:
+		return statusClientClosed
+	case experiments.FailResource:
+		return http.StatusRequestEntityTooLarge
+	case experiments.FailPanic:
+		return http.StatusInternalServerError
+	default:
+		return errStatus
+	}
+}
+
+// writeClassified classifies err through the study taxonomy and writes the
+// mapped response.
+func (s *Server) writeClassified(w http.ResponseWriter, err error, errStatus int) {
+	class := experiments.Classify(err)
+	msg := err.Error()
+	if class == experiments.FailPanic {
+		// Stacks go to the log, not the wire.
+		if pe := (*experiments.PanicError)(nil); errors.As(err, &pe) {
+			msg = "panic: " + pe.Value
+		}
+	}
+	s.writeError(w, classStatus(class, errStatus), class, msg)
+}
+
+// statusWriter captures the response code for the request metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// guard wraps a work handler with the whole robustness envelope, outermost
+// first: panic containment (a handler panic — injected or organic — is
+// classified FailPanic and answered 500, never a torn connection), request
+// metrics and spans, drain rejection, the bounded queue with load
+// shedding, the per-request deadline, and the in-flight count the drain
+// waits on.
+func (s *Server) guard(route string, h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return func(rw http.ResponseWriter, r *http.Request) {
+		w := &statusWriter{ResponseWriter: rw}
+		start := time.Now()
+		sp := s.cfg.Obs.Span("server/" + route)
+		defer func() {
+			if v := recover(); v != nil {
+				pe := &experiments.PanicError{Value: fmt.Sprint(v), Stack: string(debug.Stack())}
+				if s.cfg.Logf != nil {
+					s.cfg.Logf("%s: %v\n%s", route, v, pe.Stack)
+				}
+				if w.status == 0 { // headers not sent yet; answer properly
+					s.writeClassified(w, pe, http.StatusInternalServerError)
+				}
+			}
+			sp.End()
+			if o := s.cfg.Obs; o != nil && o.Metrics != nil {
+				o.Metrics.Counter("sparseorder_server_requests_total",
+					"API requests by route and status code",
+					obs.Label{Key: "route", Value: route},
+					obs.Label{Key: "code", Value: strconv.Itoa(w.status)}).Inc()
+				o.Metrics.Histogram("sparseorder_server_request_seconds",
+					"API request latency by route", obs.DefBuckets,
+					obs.Label{Key: "route", Value: route}).Observe(time.Since(start).Seconds())
+			}
+		}()
+
+		// Drain gate: once BeginDrain ran, no new work is admitted. The
+		// check sits inside the in-flight window so WaitIdle also covers
+		// rejections still writing their 503.
+		s.inflight.Add(1)
+		defer s.inflight.Add(-1)
+		if s.draining.Load() {
+			if s.drainC != nil {
+				s.drainC.Inc()
+			}
+			w.Header().Set("Connection", "close")
+			s.writeError(w, http.StatusServiceUnavailable, experiments.FailCanceled, "daemon is draining")
+			return
+		}
+
+		// Bounded queue: at most Queue requests wait for a work slot;
+		// arrivals beyond that are shed immediately — the daemon degrades
+		// by refusing early, not by queueing unboundedly.
+		if n := s.queued.Add(1); n > int64(s.cfg.Queue)+int64(s.cfg.MaxInflight) {
+			s.queued.Add(-1)
+			s.shed(w, "request queue full")
+			return
+		}
+		var release func()
+		select {
+		case s.slots <- struct{}{}:
+			s.queued.Add(-1)
+			release = func() { <-s.slots }
+		case <-s.drainCh:
+			s.queued.Add(-1)
+			if s.drainC != nil {
+				s.drainC.Inc()
+			}
+			w.Header().Set("Connection", "close")
+			s.writeError(w, http.StatusServiceUnavailable, experiments.FailCanceled, "daemon is draining")
+			return
+		case <-r.Context().Done():
+			s.queued.Add(-1)
+			s.writeClassified(w, r.Context().Err(), http.StatusInternalServerError)
+			return
+		}
+		defer release()
+
+		// Per-request deadline, propagated as context into the decode and
+		// the cancellable orderings.
+		ctx := r.Context()
+		if d := s.deadlineFor(r); d > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, d)
+			defer cancel()
+		}
+		ctx = obs.NewContext(ctx, s.cfg.Obs)
+		h(w, r.WithContext(ctx))
+	}
+}
+
+// deadlineFor resolves the request's deadline: the configured default,
+// shortened (never extended) by an X-Deadline-Ms header.
+func (s *Server) deadlineFor(r *http.Request) time.Duration {
+	d := s.cfg.Deadline
+	if d < 0 {
+		d = 0
+	}
+	if h := r.Header.Get("X-Deadline-Ms"); h != "" {
+		if ms, err := strconv.ParseInt(h, 10, 64); err == nil && ms > 0 {
+			if hd := time.Duration(ms) * time.Millisecond; d == 0 || hd < d {
+				d = hd
+			}
+		}
+	}
+	return d
+}
+
+// shed refuses a request with 429 + Retry-After.
+func (s *Server) shed(w http.ResponseWriter, why string) {
+	if s.shedC != nil {
+		s.shedC.Inc()
+	}
+	if s.cfg.Logf != nil {
+		s.cfg.Logf("shed: %s", why)
+	}
+	s.writeError(w, http.StatusTooManyRequests, experiments.FailResource, why)
+}
+
+// uploadResponse answers POST /matrices.
+type uploadResponse struct {
+	Key            string  `json:"key"`
+	Rows           int     `json:"rows"`
+	Cols           int     `json:"cols"`
+	NNZ            int     `json:"nnz"`
+	Ordering       string  `json:"ordering"`
+	Cached         bool    `json:"cached"`
+	Deduplicated   bool    `json:"deduplicated,omitempty"`
+	ReorderSeconds float64 `json:"reorder_seconds"`
+}
+
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	body, err := readBody(w, r, s.cfg.MaxBody)
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.writeError(w, http.StatusRequestEntityTooLarge, experiments.FailResource,
+				fmt.Sprintf("body exceeds the %d-byte upload cap", mbe.Limit))
+			return
+		}
+		s.writeClassified(w, err, http.StatusBadRequest)
+		return
+	}
+	sum := sha256.Sum256(body)
+	key := hex.EncodeToString(sum[:])
+
+	// Content-hash dedupe: a matrix already resident answers immediately —
+	// the amortization the cache exists for.
+	if m, ok := s.cache.Peek(key); ok {
+		writeJSON(w, http.StatusOK, uploadResponse{
+			Key: key, Rows: m.Rows, Cols: m.Cols, NNZ: m.NNZ,
+			Ordering: m.Ordering, Cached: true, Deduplicated: true,
+			ReorderSeconds: m.ReorderSeconds,
+		})
+		return
+	}
+
+	if err := faultinject.Check(faultinject.ServerDecode, key); err != nil {
+		s.writeClassified(w, err, http.StatusBadRequest)
+		return
+	}
+	mat, err := sparse.ReadMatrixMarketCtx(ctx, bytes.NewReader(body), s.cfg.IngestWorkers)
+	if err != nil {
+		s.writeClassified(w, err, http.StatusBadRequest)
+		return
+	}
+
+	alg := reorder.Original
+	if mat.NNZ() > 0 {
+		alg = Predict(mat, s.cfg.Threads)
+	}
+
+	// Transient working-set admission for the reorder itself; shed instead
+	// of queueing when the governor cannot grant it now.
+	est := experiments.EstimateMatrixBytes(mat.Rows, mat.NNZ(), []reorder.Algorithm{alg})
+	adm, err := s.gov.TryAcquire(key, est)
+	if err != nil {
+		if errors.Is(err, experiments.ErrResourceBudget) {
+			s.writeError(w, http.StatusRequestEntityTooLarge, experiments.FailResource, err.Error())
+			return
+		}
+		s.shed(w, err.Error())
+		return
+	}
+	defer adm.Release()
+
+	if err := faultinject.Check(faultinject.ServerReorder, key); err != nil {
+		s.writeClassified(w, err, http.StatusInternalServerError)
+		return
+	}
+	var (
+		b       *sparse.CSR
+		perm    sparse.Perm
+		timings reorder.PhaseTimings
+	)
+	if alg == reorder.Original {
+		b, perm = mat, sparse.Identity(mat.Rows)
+	} else {
+		b, perm, timings, err = reorder.ApplyTimedCtx(ctx, alg, mat, reorder.Options{
+			Parts:   s.cfg.Threads,
+			Seed:    s.cfg.Seed,
+			Workers: s.cfg.ReorderWorkers,
+		})
+		if err != nil {
+			s.writeClassified(w, err, http.StatusInternalServerError)
+			return
+		}
+	}
+
+	e := &entry{
+		key: key, alg: alg, mat: b, perm: perm,
+		rows: b.Rows, cols: b.Cols, nnz: b.NNZ(),
+		reorderSeconds: timings.Total(),
+		bytes:          EntryBytes(b.Rows, b.NNZ()),
+	}
+	cached := false
+	if err := faultinject.Check(faultinject.ServerCacheInsert, key); err != nil {
+		if s.cfg.Logf != nil {
+			s.cfg.Logf("cache insert %s: %v", key[:12], err)
+		}
+	} else if err := s.cache.Insert(e); err != nil {
+		if s.cfg.Logf != nil {
+			s.cfg.Logf("cache insert %s: %v", key[:12], err)
+		}
+	} else {
+		cached = true
+	}
+	writeJSON(w, http.StatusOK, uploadResponse{
+		Key: key, Rows: e.rows, Cols: e.cols, NNZ: e.nnz,
+		Ordering: string(alg), Cached: cached, ReorderSeconds: e.reorderSeconds,
+	})
+}
+
+// readBody reads the capped request body.
+func readBody(w http.ResponseWriter, r *http.Request, maxBody int64) ([]byte, error) {
+	rd := http.MaxBytesReader(w, r.Body, maxBody)
+	defer rd.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(rd); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	m, ok := s.cache.Peek(key)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, experiments.FailError, "unknown matrix key")
+		return
+	}
+	writeJSON(w, http.StatusOK, m)
+}
+
+// spmvRequest is the POST /spmv/{key} body.
+type spmvRequest struct {
+	X []float64 `json:"x"`
+}
+
+type spmvResponse struct {
+	Y []float64 `json:"y"`
+}
+
+func (s *Server) handleSpMV(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if err := faultinject.Check(faultinject.ServerSpMV, key); err != nil {
+		s.writeClassified(w, err, http.StatusInternalServerError)
+		return
+	}
+	e := s.cache.Get(key)
+	if e == nil {
+		s.writeError(w, http.StatusNotFound, experiments.FailError,
+			"unknown matrix key (upload it first, or it was evicted)")
+		return
+	}
+	defer s.cache.Unpin(e)
+
+	var req spmvRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBody))
+	if err := dec.Decode(&req); err != nil {
+		s.writeClassified(w, fmt.Errorf("bad spmv body: %w", err), http.StatusBadRequest)
+		return
+	}
+	if len(req.X) != e.cols {
+		s.writeError(w, http.StatusBadRequest, experiments.FailError,
+			fmt.Sprintf("x has %d entries, matrix has %d columns", len(req.X), e.cols))
+		return
+	}
+	if err := r.Context().Err(); err != nil {
+		s.writeClassified(w, err, http.StatusInternalServerError)
+		return
+	}
+
+	y, err := s.multiply(e, req.X)
+	if err != nil {
+		s.writeClassified(w, err, http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, http.StatusOK, spmvResponse{Y: y})
+}
+
+// multiply computes y = A·x in the ORIGINAL index space against the cached
+// reordered matrix B:
+//
+//	symmetric ordering:  B = P·A·Pᵀ, so y[perm[i]] = (B · gather(x))[i]
+//	row-only (Gray):     B rows are A's rows in perm order, x unchanged
+//
+// Both directions use the new-to-old permutation; the gather/scatter is
+// exact (a permutation of float64 values, no arithmetic), so responses are
+// bit-identical to an SpMV on the unordered matrix and identical between
+// cached and freshly recomputed plans.
+func (s *Server) multiply(e *entry, x []float64) ([]float64, error) {
+	xb := x
+	if e.alg.Symmetric() && e.alg != reorder.Original {
+		xb = make([]float64, e.cols)
+		for i, p := range e.perm {
+			xb[i] = x[p]
+		}
+	}
+	yb := make([]float64, e.rows)
+	plan, err := e.getPlan(s.cfg.Threads)
+	if err != nil {
+		return nil, err
+	}
+	if err := spmv.Mul2D(e.mat, xb, yb, plan); err != nil {
+		return nil, err
+	}
+	e.putPlan(plan)
+	if e.alg == reorder.Original {
+		return yb, nil
+	}
+	y := make([]float64, e.rows)
+	for i, p := range e.perm {
+		y[p] = yb[i]
+	}
+	return y, nil
+}
+
+// healthState is the /healthz and /readyz body.
+type healthState struct {
+	Status   string `json:"status"`
+	Draining bool   `json:"draining"`
+	Queued   int64  `json:"queued"`
+	InFlight int64  `json:"in_flight"`
+	Cached   int    `json:"cached_entries"`
+}
+
+func (s *Server) state() healthState {
+	return healthState{
+		Draining: s.draining.Load(),
+		Queued:   s.queued.Load(),
+		InFlight: s.inflight.Load(),
+		Cached:   s.cache.Len(),
+	}
+}
+
+// handleHealthz is liveness: 200 while the process serves, including
+// during drain (a draining daemon is alive; killing it early would abort
+// the in-flight work the drain protects).
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := s.state()
+	st.Status = "ok"
+	if st.Draining {
+		st.Status = "draining"
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleReadyz is load acceptance: 503 while draining or while admission
+// is saturated (governor committed or queue full), 200 otherwise — the
+// flip a load balancer uses to route around an overloaded or stopping
+// instance.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	st := s.state()
+	switch {
+	case st.Draining:
+		st.Status = "draining"
+	case s.gov.Saturated():
+		st.Status = "overloaded"
+	case st.Queued >= int64(s.cfg.Queue)+int64(s.cfg.MaxInflight):
+		st.Status = "overloaded"
+	default:
+		st.Status = "ready"
+		writeJSON(w, http.StatusOK, st)
+		return
+	}
+	writeJSON(w, http.StatusServiceUnavailable, st)
+}
