@@ -10,7 +10,7 @@
 //	serve [-addr :8080] [-threads N] [-reorder-workers N] [-ingest-workers N]
 //	      [-seed N] [-deadline D] [-max-inflight N] [-queue N] [-max-body SIZE]
 //	      [-membudget SIZE] [-cache-entries N] [-drain-timeout D]
-//	      [-events FILE] [-faults SPEC] [-v]
+//	      [-trace-requests N] [-events FILE] [-faults SPEC] [-v]
 //
 // API:
 //
@@ -21,7 +21,17 @@
 //	GET  /healthz        liveness (200 while serving, also during drain)
 //	GET  /readyz         acceptance (503 during overload and drain)
 //	GET  /metrics        Prometheus metrics (same surface as cmd/study -http)
+//	GET  /debug/requests recent/slowest/errored request traces with
+//	                     per-phase latency decomposition (JSON and text)
 //	GET  /progress, /debug/pprof/*, /debug/vars
+//
+// Every request carries a trace id: X-Request-Id is accepted from the
+// client (or generated) and echoed on the response, and the id appears in
+// /debug/requests, the request span, and the JSONL access log (-events).
+// Request latency is decomposed into queue_wait / governor_wait / decode /
+// reorder / plan_build / spmv phases, exported per route as
+// sparseorder_server_phase_seconds histograms — the "why was this request
+// slow" answer the coarse per-route latency histogram cannot give.
 //
 // Robustness contract (see DESIGN.md, "Serving contract"): admission is a
 // bounded queue (-max-inflight doing work, -queue waiting) plus the
@@ -79,7 +89,8 @@ func run() int {
 	memBudget := flag.String("membudget", "auto", `byte budget shared by cache residency and in-flight reorders: "auto" (from GOMEMLIMIT), "off", or a size like 512MiB`)
 	cacheEntries := flag.Int("cache-entries", 256, "plan cache entry bound")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long a signal-initiated drain waits for in-flight requests")
-	eventsPath := flag.String("events", "", "append structured JSONL span and failure events to this file")
+	traceRequests := flag.Int("trace-requests", obs.DefaultTraceCap, "completed request traces retained for /debug/requests (negative = tracing off)")
+	eventsPath := flag.String("events", "", "append structured JSONL span, failure and access events to this file")
 	faults := flag.String("faults", os.Getenv("SPARSEORDER_FAULTS"), "deterministic fault-injection spec (default $SPARSEORDER_FAULTS)")
 	verbose := flag.Bool("v", false, "log per-request admission anomalies")
 	flag.Parse()
@@ -101,6 +112,10 @@ func run() int {
 	}
 
 	o := &obs.Obs{Metrics: obs.NewRegistry(), Log: lg}
+	if *traceRequests >= 0 {
+		o.Requests = obs.NewTraceRing(*traceRequests)
+	}
+	o.Metrics.AddCollector(obs.RuntimeCollector())
 	if plan != nil {
 		o.Metrics.AddCollector(faultinject.WritePrometheus)
 	}
@@ -159,7 +174,7 @@ func run() int {
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	lg.Printf("serving on %s (POST /matrices, POST /spmv/{key}; /metrics, /healthz, /readyz)", *addr)
+	lg.Printf("serving on %s (POST /matrices, POST /spmv/{key}; /metrics, /debug/requests, /healthz, /readyz)", *addr)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -102,6 +102,7 @@ import (
 	"sparseorder/internal/gen"
 	"sparseorder/internal/machine"
 	"sparseorder/internal/obs"
+	"sparseorder/internal/server"
 )
 
 // Exit codes; distinct values let scripts tell partial results from an
@@ -248,6 +249,7 @@ func run() (code int) {
 			Progress: obs.NewProgress(),
 			Log:      lg,
 		}
+		o.Metrics.AddCollector(obs.RuntimeCollector())
 		if plan != nil {
 			// Fired-counter truth lives in the plan; render it at scrape
 			// time instead of mirroring every hit into registry handles.
@@ -443,6 +445,10 @@ func run() (code int) {
 	if *exp == "benchobs" {
 		bench, err := experiments.RunObsBench(*seed, *repeats)
 		if err != nil {
+			lg.Errorf("%v", err)
+			return exitFatal
+		}
+		if bench.Serving, err = server.RunServingBench(); err != nil {
 			lg.Errorf("%v", err)
 			return exitFatal
 		}

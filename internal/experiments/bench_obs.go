@@ -27,12 +27,19 @@ import (
 //     call sites are compiled in but resolve to nil and must stay within
 //     1% of the uninstrumented pipeline, which the micro numbers bound
 //     (a handful of nanoseconds per span against milliseconds of work).
+//   - Serving: one warm SpMV request through the daemon's handler with
+//     telemetry nil / metrics-only / metrics+tracing, measured by
+//     server.RunServingBench and merged in by cmd/study (the server
+//     package imports this one, so the dependency cannot point the other
+//     way). The nilobs row is the request-path equivalent of the no-sink
+//     pipeline budget.
 type ObsBench struct {
 	HostCPUs   int              `json:"host_cpus"`
 	GoMaxProcs int              `json:"gomaxprocs"`
 	Repeats    int              `json:"repeats"` // pipeline best-of count
 	Micro      []ObsMicroResult `json:"micro"`
 	Pipeline   []ObsPipelineRun `json:"pipeline"`
+	Serving    []ObsMicroResult `json:"serving,omitempty"`
 }
 
 // ObsMicroResult is one primitive's per-operation cost, measured with

@@ -1,0 +1,245 @@
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// promSample is one parsed Prometheus text-exposition line:
+// name{labels} value.
+type promSample struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+// parsePromText parses the subset of the Prometheus text format the
+// sparseorder registry emits (no timestamps, no exemplars). Comment and
+// blank lines are skipped; a malformed line is an error so a cross-check
+// never silently reads garbage.
+func parsePromText(text string) ([]promSample, error) {
+	var out []promSample
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s, err := parsePromLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: /metrics line %d: %w", ln+1, err)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func parsePromLine(line string) (promSample, error) {
+	s := promSample{labels: map[string]string{}}
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		return s, fmt.Errorf("no value in %q", line)
+	} else {
+		s.name = rest[:i]
+		rest = rest[i:]
+	}
+	if rest[0] == '{' {
+		end, labels, err := parseLabels(rest)
+		if err != nil {
+			return s, err
+		}
+		s.labels = labels
+		rest = rest[end:]
+	}
+	rest = strings.TrimSpace(rest)
+	v, err := parsePromValue(rest)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %v", rest, err)
+	}
+	s.value = v
+	return s, nil
+}
+
+// parseLabels parses a {k="v",…} block starting at text[0] == '{',
+// returning the index just past the closing brace. Values may contain the
+// exposition escapes \\, \" and \n.
+func parseLabels(text string) (int, map[string]string, error) {
+	labels := map[string]string{}
+	i := 1
+	for {
+		if i >= len(text) {
+			return 0, nil, fmt.Errorf("unterminated label block")
+		}
+		if text[i] == '}' {
+			return i + 1, labels, nil
+		}
+		eq := strings.IndexByte(text[i:], '=')
+		if eq < 0 || i+eq+1 >= len(text) || text[i+eq+1] != '"' {
+			return 0, nil, fmt.Errorf("malformed label in %q", text)
+		}
+		key := text[i : i+eq]
+		j := i + eq + 2 // first byte of the value
+		var b strings.Builder
+		for {
+			if j >= len(text) {
+				return 0, nil, fmt.Errorf("unterminated label value in %q", text)
+			}
+			c := text[j]
+			if c == '\\' && j+1 < len(text) {
+				switch text[j+1] {
+				case '\\':
+					b.WriteByte('\\')
+				case '"':
+					b.WriteByte('"')
+				case 'n':
+					b.WriteByte('\n')
+				default:
+					b.WriteByte(c)
+					b.WriteByte(text[j+1])
+				}
+				j += 2
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			b.WriteByte(c)
+			j++
+		}
+		labels[key] = b.String()
+		j++ // past the closing quote
+		if j < len(text) && text[j] == ',' {
+			j++
+		}
+		i = j
+	}
+}
+
+func parsePromValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// histSnapshot is one histogram series reconstructed from a scrape:
+// cumulative bucket counts by upper bound, plus count and sum.
+type histSnapshot struct {
+	bounds []float64 // ascending; last is +Inf
+	cum    []uint64  // cumulative counts, parallel to bounds
+	count  uint64
+	sum    float64
+}
+
+// matches reports whether labels carries every key/value in want
+// (ignoring the bucket's le label).
+func matches(labels, want map[string]string) bool {
+	for k, v := range want {
+		if labels[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// extractHist reconstructs the histogram series of family with the given
+// labels from parsed samples. Missing series yield ok=false.
+func extractHist(samples []promSample, family string, want map[string]string) (histSnapshot, bool) {
+	var h histSnapshot
+	type bkt struct {
+		le  float64
+		cum uint64
+	}
+	var buckets []bkt
+	seen := false
+	for _, s := range samples {
+		switch s.name {
+		case family + "_bucket":
+			if !matches(s.labels, want) {
+				continue
+			}
+			le, err := parsePromValue(s.labels["le"])
+			if err != nil {
+				continue
+			}
+			buckets = append(buckets, bkt{le: le, cum: uint64(s.value)})
+			seen = true
+		case family + "_count":
+			if matches(s.labels, want) {
+				h.count = uint64(s.value)
+				seen = true
+			}
+		case family + "_sum":
+			if matches(s.labels, want) {
+				h.sum = s.value
+				seen = true
+			}
+		}
+	}
+	if !seen {
+		return h, false
+	}
+	sort.Slice(buckets, func(i, j int) bool { return buckets[i].le < buckets[j].le })
+	for _, b := range buckets {
+		h.bounds = append(h.bounds, b.le)
+		h.cum = append(h.cum, b.cum)
+	}
+	return h, true
+}
+
+// sub returns the histogram delta h − prev (prev may be the zero
+// snapshot): the traffic observed between two scrapes. Counters only ever
+// grow, so the delta is itself a valid histogram.
+func (h histSnapshot) sub(prev histSnapshot) histSnapshot {
+	out := histSnapshot{
+		bounds: h.bounds,
+		cum:    append([]uint64(nil), h.cum...),
+		count:  h.count - prev.count,
+		sum:    h.sum - prev.sum,
+	}
+	for i := range out.cum {
+		if i < len(prev.cum) {
+			out.cum[i] -= prev.cum[i]
+		}
+	}
+	return out
+}
+
+// quantile estimates the q-quantile (0 < q ≤ 1) from the bucket counts
+// with Prometheus-style linear interpolation inside the landing bucket.
+// The true value lies in (lower bound of the landing bucket, its upper
+// bound]; both are returned so a cross-check can use the hard bracket
+// rather than the interpolated point.
+func (h histSnapshot) quantile(q float64) (est, lo, hi float64) {
+	if h.count == 0 || len(h.bounds) == 0 {
+		return 0, 0, 0
+	}
+	rank := q * float64(h.count)
+	idx := sort.Search(len(h.cum), func(i int) bool { return float64(h.cum[i]) >= rank })
+	if idx == len(h.cum) {
+		idx = len(h.cum) - 1
+	}
+	hi = h.bounds[idx]
+	lo = 0
+	prevCum := uint64(0)
+	if idx > 0 {
+		lo = h.bounds[idx-1]
+		prevCum = h.cum[idx-1]
+	}
+	if math.IsInf(hi, 1) {
+		// Open-ended landing bucket: no upper bracket; report the lower
+		// bound as the estimate.
+		return lo, lo, math.Inf(1)
+	}
+	inBucket := float64(h.cum[idx] - prevCum)
+	if inBucket <= 0 {
+		return hi, lo, hi
+	}
+	est = lo + (hi-lo)*(rank-float64(prevCum))/inBucket
+	return est, lo, hi
+}

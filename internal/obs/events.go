@@ -29,6 +29,12 @@ type Event struct {
 	Worker *int `json:"worker,omitempty"`
 	// Attrs are the span attributes (matrix, algorithm, class, …).
 	Attrs map[string]string `json:"attrs,omitempty"`
+	// Req, Status and Phases carry the serving path's access-log lines
+	// (ev "access"): the request id echoed to the client, the HTTP status
+	// written, and the per-phase latency decomposition in seconds.
+	Req    string             `json:"req,omitempty"`
+	Status int                `json:"status,omitempty"`
+	Phases map[string]float64 `json:"phases,omitempty"`
 }
 
 // EventLog is an append-only JSONL sink for span and failure events. Its
@@ -134,6 +140,35 @@ func (e *EventLog) emitLog(level Level, msg string, worker int) {
 	ev := Event{Ev: "log", Level: level.String(), Msg: msg}
 	if worker >= 0 {
 		ev.Worker = &worker
+	}
+	e.Emit(ev)
+}
+
+// EmitAccess records one structured access-log line for a completed
+// request: the JSONL twin of the trace a TraceRing retains, so the event
+// log alone reconstructs per-request phase attribution after the ring has
+// wrapped. Nil-receiver safe.
+func (e *EventLog) EmitAccess(t *ReqTrace) {
+	if e == nil || t == nil {
+		return
+	}
+	ev := Event{Ev: "access", Name: t.Route, Req: t.ID, Status: t.Status,
+		Seconds: t.Seconds, Msg: t.Error}
+	if t.Class != "" {
+		ev.Level = "error"
+		ev.Attrs = map[string]string{"class": t.Class}
+	}
+	if t.Key != "" {
+		if ev.Attrs == nil {
+			ev.Attrs = map[string]string{}
+		}
+		ev.Attrs["key"] = t.Key
+	}
+	if len(t.Phases) > 0 {
+		ev.Phases = make(map[string]float64, len(t.Phases))
+		for _, p := range t.Phases {
+			ev.Phases[p.Name] = p.Seconds
+		}
 	}
 	e.Emit(ev)
 }

@@ -1,0 +1,279 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// nameRE is the Prometheus metric-name grammar; labelRE the label-name
+// grammar. Every family and sample the registry emits must conform or
+// real scrapers reject the whole exposition.
+var (
+	nameRE  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelRE = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+	// sampleRE splits a sample line into name, optional label block, value.
+	sampleRE = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{.*\})? (\S+)$`)
+)
+
+// validateExposition runs a line-level conformance check over a text
+// exposition: sample lines parse, names and label names match the
+// grammar, label values are properly quoted and escaped, every sample is
+// preceded by its family's TYPE line, each family declares HELP/TYPE at
+// most once, and histograms carry a +Inf bucket whose cumulative count
+// equals _count.
+func validateExposition(t *testing.T, text string) {
+	t.Helper()
+	typed := map[string]string{} // family -> type
+	helped := map[string]bool{}  // family -> HELP seen
+	infBucket := map[string]uint64{}
+	counts := map[string]uint64{}
+
+	for ln, line := range strings.Split(text, "\n") {
+		where := fmt.Sprintf("line %d: %q", ln+1, line)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			parts := strings.SplitN(strings.TrimPrefix(line, "# HELP "), " ", 2)
+			if !nameRE.MatchString(parts[0]) {
+				t.Errorf("%s: HELP for invalid name %q", where, parts[0])
+			}
+			if helped[parts[0]] {
+				t.Errorf("%s: duplicate HELP for %s", where, parts[0])
+			}
+			helped[parts[0]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(parts) != 2 {
+				t.Errorf("%s: malformed TYPE line", where)
+				continue
+			}
+			if _, dup := typed[parts[0]]; dup {
+				t.Errorf("%s: duplicate TYPE for %s", where, parts[0])
+			}
+			switch parts[1] {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				t.Errorf("%s: unknown type %q", where, parts[1])
+			}
+			typed[parts[0]] = parts[1]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Errorf("%s: unrecognized comment form", where)
+			continue
+		}
+
+		m := sampleRE.FindStringSubmatch(line)
+		if m == nil {
+			t.Errorf("%s: not a valid sample line", where)
+			continue
+		}
+		name, labelBlock, valueText := m[1], m[2], m[3]
+		value, err := parseValue(valueText)
+		if err != nil {
+			t.Errorf("%s: bad value: %v", where, err)
+		}
+
+		family := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suffix)
+			if base != name && typed[base] == "histogram" {
+				family = base
+			}
+		}
+		ftype, ok := typed[family]
+		if !ok {
+			t.Errorf("%s: sample before any TYPE line for %s", where, family)
+		}
+
+		labels, perr := parseLabelBlock(labelBlock)
+		if perr != nil {
+			t.Errorf("%s: %v", where, perr)
+			continue
+		}
+		for k := range labels {
+			if k == "le" && family != name {
+				continue
+			}
+			if !labelRE.MatchString(k) {
+				t.Errorf("%s: invalid label name %q", where, k)
+			}
+		}
+		if ftype == "histogram" {
+			key := family + "|" + labelKeyWithoutLe(labels)
+			switch {
+			case strings.HasSuffix(name, "_bucket"):
+				if labels["le"] == "+Inf" {
+					infBucket[key] = uint64(value)
+				}
+			case strings.HasSuffix(name, "_count"):
+				counts[key] = uint64(value)
+			}
+		}
+		if ftype == "counter" && value < 0 {
+			t.Errorf("%s: negative counter", where)
+		}
+	}
+
+	for key, c := range counts {
+		inf, ok := infBucket[key]
+		if !ok {
+			t.Errorf("histogram %s has no +Inf bucket", key)
+			continue
+		}
+		if inf != c {
+			t.Errorf("histogram %s: +Inf bucket %d != count %d", key, inf, c)
+		}
+	}
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// parseLabelBlock parses {k="v",…} validating quoting and escapes.
+func parseLabelBlock(block string) (map[string]string, error) {
+	labels := map[string]string{}
+	if block == "" {
+		return labels, nil
+	}
+	if !strings.HasPrefix(block, "{") || !strings.HasSuffix(block, "}") {
+		return nil, fmt.Errorf("label block %q not brace-delimited", block)
+	}
+	body := block[1 : len(block)-1]
+	i := 0
+	for i < len(body) {
+		eq := strings.IndexByte(body[i:], '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("no '=' in label segment %q", body[i:])
+		}
+		key := body[i : i+eq]
+		i += eq + 1
+		if i >= len(body) || body[i] != '"' {
+			return nil, fmt.Errorf("label %q value not quoted", key)
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(body) {
+				return nil, fmt.Errorf("label %q value unterminated", key)
+			}
+			c := body[i]
+			if c == '\n' {
+				return nil, fmt.Errorf("label %q contains a raw newline", key)
+			}
+			if c == '\\' {
+				if i+1 >= len(body) {
+					return nil, fmt.Errorf("label %q ends mid-escape", key)
+				}
+				switch body[i+1] {
+				case '\\', '"', 'n':
+				default:
+					return nil, fmt.Errorf("label %q has invalid escape \\%c", key, body[i+1])
+				}
+				val.WriteByte(body[i+1])
+				i += 2
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			val.WriteByte(c)
+			i++
+		}
+		labels[key] = val.String()
+		i++ // closing quote
+		if i < len(body) {
+			if body[i] != ',' {
+				return nil, fmt.Errorf("expected ',' after label %q", key)
+			}
+			i++
+		}
+	}
+	return labels, nil
+}
+
+func labelKeyWithoutLe(labels map[string]string) string {
+	var parts []string
+	for k, v := range labels {
+		if k == "le" {
+			continue
+		}
+		parts = append(parts, k+"="+v)
+	}
+	// Order-insensitive join for map iteration.
+	for i := 0; i < len(parts); i++ {
+		for j := i + 1; j < len(parts); j++ {
+			if parts[j] < parts[i] {
+				parts[i], parts[j] = parts[j], parts[i]
+			}
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+// TestExpositionConformance renders a registry exercising every metric
+// kind, awkward label values, and a custom collector, then validates the
+// whole document line by line.
+func TestExpositionConformance(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sparseorder_test_total", "a counter", Label{"path", `C:\tmp "x"` + "\nend"}).Inc()
+	r.Counter("sparseorder_test_total", "a counter", Label{"path", "plain"}).Add(3)
+	r.Gauge("sparseorder_test_gauge", "a gauge").Set(-2.5)
+	h := r.Histogram("sparseorder_test_seconds", "a histogram", DefBuckets, Label{"route", "spmv"})
+	for _, v := range []float64{0.0001, 0.02, 5, 1e6} {
+		h.Observe(v)
+	}
+	r.AddCollector(RuntimeCollector())
+	r.AddCollector(func(w io.Writer) error {
+		_, err := fmt.Fprint(w, "# HELP sparseorder_test_custom collector-emitted gauge\n"+
+			"# TYPE sparseorder_test_custom gauge\nsparseorder_test_custom 7\n")
+		return err
+	})
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	validateExposition(t, b.String())
+
+	// The escaped label round-trips through the validator's parser.
+	if !strings.Contains(b.String(), `path="C:\\tmp \"x\"\nend"`) {
+		t.Errorf("escaped label value missing:\n%s", b.String())
+	}
+}
+
+// TestFamiliesLint asserts every family name the registry hands out obeys
+// the Prometheus naming grammar — the compile-time guard for new metric
+// call sites anywhere in the tree that lands in this registry.
+func TestFamiliesLint(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sparseorder_lint_total", "")
+	r.Gauge("sparseorder_lint_gauge", "")
+	r.Histogram("sparseorder_lint_seconds", "", DefBuckets)
+	fams := r.Families()
+	if len(fams) != 3 {
+		t.Fatalf("Families() = %v, want 3 entries", fams)
+	}
+	for _, f := range fams {
+		if !nameRE.MatchString(f) {
+			t.Errorf("family %q violates the Prometheus naming grammar", f)
+		}
+	}
+}

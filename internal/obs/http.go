@@ -29,10 +29,11 @@ func (o *Obs) Handler() http.Handler {
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprint(w, "sparseorder study live endpoint\n\n"+
-			"/metrics      Prometheus metrics\n"+
-			"/progress     JSON progress view\n"+
-			"/debug/vars   expvar\n"+
-			"/debug/pprof/ profiling\n")
+			"/metrics         Prometheus metrics\n"+
+			"/progress        JSON progress view\n"+
+			"/debug/requests  recent/slowest/errored request traces\n"+
+			"/debug/vars      expvar\n"+
+			"/debug/pprof/    profiling\n")
 	})
 	o.Mount(mux)
 	return mux
@@ -61,6 +62,11 @@ func (o *Obs) Mount(mux *http.ServeMux) {
 		enc.SetIndent("", "  ")
 		enc.Encode(snap)
 	})
+	var ring *TraceRing
+	if o != nil {
+		ring = o.Requests
+	}
+	mux.HandleFunc("/debug/requests", ring.TraceHandler())
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

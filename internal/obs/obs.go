@@ -32,6 +32,9 @@ type Obs struct {
 	// Progress is the live matrices done/queued/failed view served by the
 	// HTTP endpoint.
 	Progress *Progress
+	// Requests retains completed request traces for /debug/requests; only
+	// the serving path (internal/server) populates it.
+	Requests *TraceRing
 }
 
 // ctxKey is the context key type for both the Obs and the current span.

@@ -223,6 +223,19 @@ func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Labe
 	return h
 }
 
+// Families returns the sorted names of every registered metric family —
+// the surface the naming-convention lint test sweeps.
+func (r *Registry) Families() []string {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	r.mu.RUnlock()
+	sort.Strings(names)
+	return names
+}
+
 // AddCollector registers a scrape-time collector: fn runs at the end of
 // every WritePrometheus call and appends its own exposition-format lines.
 // It suits metrics whose source of truth lives outside the registry (the

@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+)
+
+// RuntimeCollector returns a scrape-time collector (Registry.AddCollector)
+// exposing the Go runtime's health signals in Prometheus text format:
+// goroutine count, heap residency, and cumulative GC pause time — the
+// triad that tells a long-running daemon's "is the process itself the
+// bottleneck" story (a leak shows as goroutines or heap climbing, GC
+// pressure as pause seconds outpacing traffic). Reading runtime.MemStats
+// briefly stops the world, which is why this is a scrape-time collector
+// and not a per-request gauge update: the cost lands on the scraper's
+// cadence, never on the request path.
+func RuntimeCollector() func(io.Writer) error {
+	return func(w io.Writer) error {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		rows := []struct {
+			name, kind, help string
+			value            string
+		}{
+			{"sparseorder_go_goroutines", "gauge",
+				"goroutines currently live",
+				fmt.Sprintf("%d", runtime.NumGoroutine())},
+			{"sparseorder_go_heap_alloc_bytes", "gauge",
+				"bytes of allocated heap objects",
+				fmt.Sprintf("%d", ms.HeapAlloc)},
+			{"sparseorder_go_heap_sys_bytes", "gauge",
+				"bytes of heap obtained from the OS",
+				fmt.Sprintf("%d", ms.HeapSys)},
+			{"sparseorder_go_next_gc_bytes", "gauge",
+				"heap size at which the next GC cycle triggers",
+				fmt.Sprintf("%d", ms.NextGC)},
+			{"sparseorder_go_gcs_total", "counter",
+				"completed GC cycles",
+				fmt.Sprintf("%d", ms.NumGC)},
+			{"sparseorder_go_gc_pause_seconds_total", "counter",
+				"cumulative stop-the-world GC pause time",
+				formatFloat(float64(ms.PauseTotalNs) / 1e9)},
+		}
+		for _, row := range rows {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %s\n",
+				row.name, row.help, row.name, row.kind, row.name, row.value); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}

@@ -1,0 +1,371 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RequestIDHeader is the header a request trace id travels in, both
+// directions: clients may supply one (it is taken verbatim, truncated to
+// MaxRequestIDLen), and the server echoes the accepted or generated id on
+// every instrumented response.
+const RequestIDHeader = "X-Request-Id"
+
+// MaxRequestIDLen bounds accepted request ids so a hostile client cannot
+// make the trace ring resident-heavy or the access log unreadable.
+const MaxRequestIDLen = 64
+
+// ridPrefix is the per-process random id prefix; together with a counter
+// it makes generated ids unique across restarts without coordination.
+var ridPrefix = func() string {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		binary.BigEndian.PutUint32(b[:], uint32(time.Now().UnixNano()))
+	}
+	return fmt.Sprintf("%08x", binary.BigEndian.Uint32(b[:]))
+}()
+
+var ridCounter atomic.Uint64
+
+// NewRequestID generates a process-unique request id
+// ("<random8hex>-<seq>"). Callers on the disabled path must not call this:
+// id generation allocates.
+func NewRequestID() string {
+	return ridPrefix + "-" + strconv.FormatUint(ridCounter.Add(1), 16)
+}
+
+// AcceptRequestID returns the client-supplied id from h truncated to
+// MaxRequestIDLen, or a freshly generated id when the header is empty.
+func AcceptRequestID(h http.Header) string {
+	id := h.Get(RequestIDHeader)
+	if id == "" {
+		return NewRequestID()
+	}
+	if len(id) > MaxRequestIDLen {
+		id = id[:MaxRequestIDLen]
+	}
+	return id
+}
+
+// ReqPhase is one named, timed slice of a request (queue wait, decode,
+// reorder, …) in the order the request passed through it.
+type ReqPhase struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+}
+
+// ReqTrace is the completed record of one request: identity, outcome and
+// the per-phase latency decomposition. Traces are immutable once added to
+// a TraceRing.
+type ReqTrace struct {
+	// ID is the request id (accepted or generated), echoed to the client.
+	ID string `json:"id"`
+	// Route is the logical route name (upload, spmv), not the raw URL.
+	Route string `json:"route"`
+	// Key is the matrix content-hash key, when the request resolved one.
+	Key string `json:"key,omitempty"`
+	// Start is the wall-clock arrival time.
+	Start time.Time `json:"start"`
+	// Seconds is the total request latency.
+	Seconds float64 `json:"seconds"`
+	// Status is the HTTP status code written.
+	Status int `json:"status"`
+	// Class is the failure class for non-2xx outcomes ("" on success).
+	Class string `json:"class,omitempty"`
+	// Error is the error message for failed requests ("" on success).
+	Error string `json:"error,omitempty"`
+	// Phases is the latency decomposition in execution order. The phase
+	// seconds do not sum to Seconds: un-attributed time (routing, JSON
+	// encode, scheduling) is the remainder.
+	Phases []ReqPhase `json:"phases,omitempty"`
+}
+
+// Errored reports whether the trace recorded a failure (status ≥ 400).
+func (t *ReqTrace) Errored() bool { return t.Status >= 400 }
+
+// Dominant returns the longest phase, or a zero ReqPhase when none were
+// recorded — the first thing a "why was this slow" investigation asks.
+func (t *ReqTrace) Dominant() ReqPhase {
+	var d ReqPhase
+	for _, p := range t.Phases {
+		if p.Seconds > d.Seconds {
+			d = p
+		}
+	}
+	return d
+}
+
+// TraceRing retains completed request traces for /debug/requests, in the
+// spirit of x/net/trace: a bounded ring of recent traces, a separate
+// bounded ring of errored traces (so a burst of successes cannot evict the
+// failures being investigated), and a top-K list of the slowest traces
+// seen since start. All three views are bounded, so a daemon serving
+// millions of requests holds a fixed trace working set. Safe for
+// concurrent use; a nil *TraceRing ignores Add and serves empty views.
+type TraceRing struct {
+	mu      sync.Mutex
+	recent  ring
+	errored ring
+	slowest []*ReqTrace // sorted descending by Seconds, ≤ slowestK
+	kept    int         // slowest capacity
+	total   uint64      // all traces ever added
+	errs    uint64      // errored traces ever added
+}
+
+// ring is a fixed-capacity overwrite-oldest buffer.
+type ring struct {
+	buf  []*ReqTrace
+	next int // slot the next Add writes
+	full bool
+}
+
+func (r *ring) add(t *ReqTrace) {
+	if len(r.buf) == 0 {
+		return
+	}
+	r.buf[r.next] = t
+	r.next++
+	if r.next == len(r.buf) {
+		r.next, r.full = 0, true
+	}
+}
+
+// newestFirst appends the ring's contents, newest first, to dst.
+func (r *ring) newestFirst(dst []*ReqTrace, n int) []*ReqTrace {
+	size := r.next
+	if r.full {
+		size = len(r.buf)
+	}
+	if n > size {
+		n = size
+	}
+	for i := 0; i < n; i++ {
+		idx := r.next - 1 - i
+		if idx < 0 {
+			idx += len(r.buf)
+		}
+		dst = append(dst, r.buf[idx])
+	}
+	return dst
+}
+
+// DefaultTraceCap is the recent-ring capacity NewTraceRing(0) uses.
+const DefaultTraceCap = 256
+
+// slowestK is the number of slowest-ever traces retained.
+const slowestK = 32
+
+// NewTraceRing builds a trace ring retaining up to cap recent traces
+// (0 means DefaultTraceCap), cap/4 errored traces (min 16) and the 32
+// slowest traces seen.
+func NewTraceRing(capacity int) *TraceRing {
+	if capacity <= 0 {
+		capacity = DefaultTraceCap
+	}
+	ecap := capacity / 4
+	if ecap < 16 {
+		ecap = 16
+	}
+	return &TraceRing{
+		recent:  ring{buf: make([]*ReqTrace, capacity)},
+		errored: ring{buf: make([]*ReqTrace, ecap)},
+		kept:    slowestK,
+	}
+}
+
+// Add retains a completed trace. The trace must not be mutated afterwards.
+func (r *TraceRing) Add(t *ReqTrace) {
+	if r == nil || t == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.total++
+	r.recent.add(t)
+	if t.Errored() {
+		r.errs++
+		r.errored.add(t)
+	}
+	// Insert into the slowest top-K (descending); most requests fail the
+	// tail comparison immediately.
+	if n := len(r.slowest); n < r.kept || t.Seconds > r.slowest[n-1].Seconds {
+		i := sort.Search(len(r.slowest), func(i int) bool {
+			return r.slowest[i].Seconds < t.Seconds
+		})
+		r.slowest = append(r.slowest, nil)
+		copy(r.slowest[i+1:], r.slowest[i:])
+		r.slowest[i] = t
+		if len(r.slowest) > r.kept {
+			r.slowest = r.slowest[:r.kept]
+		}
+	}
+}
+
+// TraceView names one of the /debug/requests views.
+type TraceView string
+
+const (
+	ViewRecent  TraceView = "recent"
+	ViewSlowest TraceView = "slowest"
+	ViewErrored TraceView = "errored"
+)
+
+// Snapshot returns up to n traces of the requested view: recent and
+// errored newest-first, slowest in descending duration. n ≤ 0 means all
+// retained. Nil-receiver safe (empty result).
+func (r *TraceRing) Snapshot(view TraceView, n int) []*ReqTrace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n <= 0 {
+		n = 1 << 30
+	}
+	switch view {
+	case ViewSlowest:
+		m := n
+		if m > len(r.slowest) {
+			m = len(r.slowest)
+		}
+		return append([]*ReqTrace(nil), r.slowest[:m]...)
+	case ViewErrored:
+		return r.errored.newestFirst(nil, n)
+	default:
+		return r.recent.newestFirst(nil, n)
+	}
+}
+
+// Totals returns the number of traces ever added and how many of them
+// errored. Nil-receiver safe.
+func (r *TraceRing) Totals() (total, errored uint64) {
+	if r == nil {
+		return 0, 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total, r.errs
+}
+
+// traceDocument is the JSON body of /debug/requests.
+type traceDocument struct {
+	View    TraceView   `json:"view"`
+	Total   uint64      `json:"total"`
+	Errored uint64      `json:"errored"`
+	Traces  []*ReqTrace `json:"traces"`
+}
+
+// TraceHandler serves the ring as /debug/requests:
+//
+//	?view=recent|slowest|errored   which traces (default recent)
+//	?n=50                          how many (default 50)
+//	?format=json|text              encoding (default text; JSON also when
+//	                               the Accept header prefers application/json)
+//
+// The text view is one block per trace: outcome line, then the phase
+// decomposition with bar widths proportional to each phase's share, so a
+// slow request's dominant phase is visible without tooling. A nil ring
+// answers 404 so probes can tell "tracing off" from "no traffic".
+func (r *TraceRing) TraceHandler() http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		if r == nil {
+			http.Error(w, "request tracing not enabled", http.StatusNotFound)
+			return
+		}
+		view := TraceView(req.URL.Query().Get("view"))
+		switch view {
+		case ViewRecent, ViewSlowest, ViewErrored:
+		case "":
+			view = ViewRecent
+		default:
+			http.Error(w, "unknown view (want recent, slowest or errored)", http.StatusBadRequest)
+			return
+		}
+		n := 50
+		if s := req.URL.Query().Get("n"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil || v < 1 {
+				http.Error(w, "bad n", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		total, errs := r.Totals()
+		doc := traceDocument{View: view, Total: total, Errored: errs,
+			Traces: r.Snapshot(view, n)}
+		format := req.URL.Query().Get("format")
+		if format == "json" || (format == "" && wantsJSON(req.Header.Get("Accept"))) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(doc)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		writeTraceText(w, doc)
+	}
+}
+
+// wantsJSON is a minimal Accept check: any mention of application/json
+// before text/plain counts.
+func wantsJSON(accept string) bool {
+	for i := 0; i+16 <= len(accept); i++ {
+		if accept[i:i+16] == "application/json" {
+			return true
+		}
+		if i+10 <= len(accept) && accept[i:i+10] == "text/plain" {
+			return false
+		}
+	}
+	return false
+}
+
+// writeTraceText renders the human-readable view.
+func writeTraceText(w http.ResponseWriter, doc traceDocument) {
+	fmt.Fprintf(w, "request traces — view=%s, showing %d (total served %d, errored %d)\n\n",
+		doc.View, len(doc.Traces), doc.Total, doc.Errored)
+	for _, t := range doc.Traces {
+		outcome := "ok"
+		if t.Errored() {
+			outcome = t.Class
+			if outcome == "" {
+				outcome = "error"
+			}
+		}
+		fmt.Fprintf(w, "%s  %-7s %3d %-8s %9.3fms  id=%s", t.Start.Format("15:04:05.000"),
+			t.Route, t.Status, outcome, t.Seconds*1e3, t.ID)
+		if t.Key != "" {
+			k := t.Key
+			if len(k) > 12 {
+				k = k[:12]
+			}
+			fmt.Fprintf(w, " key=%s", k)
+		}
+		fmt.Fprintln(w)
+		for _, p := range t.Phases {
+			frac := 0.0
+			if t.Seconds > 0 {
+				frac = p.Seconds / t.Seconds
+			}
+			bar := int(frac*30 + 0.5)
+			if bar > 30 {
+				bar = 30
+			}
+			fmt.Fprintf(w, "    %-13s %9.3fms %5.1f%% %s\n",
+				p.Name, p.Seconds*1e3, frac*100, bars[:bar])
+		}
+		if t.Error != "" {
+			fmt.Fprintf(w, "    error: %s\n", t.Error)
+		}
+	}
+}
+
+const bars = "##############################"

@@ -1,0 +1,218 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRequestIDAcceptGenerate(t *testing.T) {
+	h := http.Header{}
+	gen1 := AcceptRequestID(h)
+	gen2 := AcceptRequestID(h)
+	if gen1 == "" || gen2 == "" || gen1 == gen2 {
+		t.Fatalf("generated ids %q, %q: want nonempty and unique", gen1, gen2)
+	}
+	if !strings.HasPrefix(gen2, strings.SplitN(gen1, "-", 2)[0]) {
+		t.Errorf("ids %q, %q do not share the process prefix", gen1, gen2)
+	}
+
+	h.Set(RequestIDHeader, "client-chosen")
+	if got := AcceptRequestID(h); got != "client-chosen" {
+		t.Errorf("client id not accepted verbatim: %q", got)
+	}
+
+	long := strings.Repeat("x", 3*MaxRequestIDLen)
+	h.Set(RequestIDHeader, long)
+	if got := AcceptRequestID(h); len(got) != MaxRequestIDLen {
+		t.Errorf("oversized id truncated to %d bytes, want %d", len(got), MaxRequestIDLen)
+	}
+}
+
+func mkTrace(id string, sec float64, status int) *ReqTrace {
+	return &ReqTrace{
+		ID: id, Route: "spmv", Start: time.Unix(1700000000, 0),
+		Seconds: sec, Status: status,
+		Phases: []ReqPhase{{Name: "decode", Seconds: sec / 4}, {Name: "spmv", Seconds: sec / 2}},
+	}
+}
+
+func TestTraceRingBoundsAndViews(t *testing.T) {
+	r := NewTraceRing(8)
+	for i := 0; i < 50; i++ {
+		status := http.StatusOK
+		if i%10 == 0 {
+			status = http.StatusInternalServerError
+		}
+		r.Add(mkTrace(fmt.Sprintf("r%d", i), float64(i), status))
+	}
+
+	total, errs := r.Totals()
+	if total != 50 || errs != 5 {
+		t.Fatalf("Totals() = (%d, %d), want (50, 5)", total, errs)
+	}
+
+	recent := r.Snapshot(ViewRecent, 100)
+	if len(recent) != 8 {
+		t.Fatalf("recent holds %d, want ring capacity 8", len(recent))
+	}
+	if recent[0].ID != "r49" || recent[7].ID != "r42" {
+		t.Errorf("recent not newest-first: %s … %s", recent[0].ID, recent[7].ID)
+	}
+
+	slowest := r.Snapshot(ViewSlowest, 3)
+	if len(slowest) != 3 {
+		t.Fatalf("slowest n=3 returned %d", len(slowest))
+	}
+	if slowest[0].ID != "r49" || slowest[1].ID != "r48" || slowest[2].ID != "r47" {
+		t.Errorf("slowest order wrong: %s %s %s", slowest[0].ID, slowest[1].ID, slowest[2].ID)
+	}
+
+	errored := r.Snapshot(ViewErrored, 100)
+	for _, tr := range errored {
+		if !tr.Errored() {
+			t.Errorf("errored view contains success %s (status %d)", tr.ID, tr.Status)
+		}
+	}
+	if len(errored) != 5 {
+		t.Errorf("errored view holds %d, want all 5 failures", len(errored))
+	}
+}
+
+// TestTraceRingErroredSurvivesSuccessFlood is the reason for the separate
+// errored ring: one early failure must remain inspectable after the
+// recent ring has turned over many times.
+func TestTraceRingErroredSurvivesSuccessFlood(t *testing.T) {
+	r := NewTraceRing(16)
+	r.Add(mkTrace("the-failure", 0.5, http.StatusGatewayTimeout))
+	for i := 0; i < 1000; i++ {
+		r.Add(mkTrace(fmt.Sprintf("ok%d", i), 0.001, http.StatusOK))
+	}
+	errored := r.Snapshot(ViewErrored, 10)
+	if len(errored) != 1 || errored[0].ID != "the-failure" {
+		t.Fatalf("failure evicted by success flood: %+v", errored)
+	}
+	for _, tr := range r.Snapshot(ViewRecent, 100) {
+		if tr.ID == "the-failure" {
+			t.Error("1000 successes did not turn over a 16-entry recent ring")
+		}
+	}
+}
+
+func TestTraceRingNilSafe(t *testing.T) {
+	var r *TraceRing
+	r.Add(mkTrace("x", 1, 200)) // must not panic
+	if got := r.Snapshot(ViewRecent, 10); got != nil {
+		t.Errorf("nil ring snapshot = %v", got)
+	}
+	if total, errs := r.Totals(); total != 0 || errs != 0 {
+		t.Errorf("nil ring totals = (%d, %d)", total, errs)
+	}
+	w := httptest.NewRecorder()
+	r.TraceHandler()(w, httptest.NewRequest(http.MethodGet, "/debug/requests", nil))
+	if w.Code != http.StatusNotFound {
+		t.Errorf("nil ring handler status %d, want 404", w.Code)
+	}
+}
+
+func TestDominant(t *testing.T) {
+	tr := mkTrace("d", 4, 200) // decode 1s, spmv 2s
+	if dom := tr.Dominant(); dom.Name != "spmv" || dom.Seconds != 2 {
+		t.Errorf("Dominant() = %+v, want spmv/2", dom)
+	}
+	var empty ReqTrace
+	if dom := empty.Dominant(); dom.Name != "" {
+		t.Errorf("empty trace dominant = %+v", dom)
+	}
+}
+
+func TestTraceHandlerViewsAndFormats(t *testing.T) {
+	r := NewTraceRing(8)
+	r.Add(mkTrace("fast", 0.01, http.StatusOK))
+	r.Add(mkTrace("slow", 2.0, http.StatusOK))
+	r.Add(mkTrace("bad", 0.5, http.StatusBadRequest))
+	h := r.TraceHandler()
+
+	get := func(url string, hdr ...string) *httptest.ResponseRecorder {
+		req := httptest.NewRequest(http.MethodGet, url, nil)
+		for i := 0; i+1 < len(hdr); i += 2 {
+			req.Header.Set(hdr[i], hdr[i+1])
+		}
+		w := httptest.NewRecorder()
+		h(w, req)
+		return w
+	}
+
+	// JSON by query parameter.
+	w := get("/debug/requests?view=slowest&format=json")
+	if w.Code != http.StatusOK || !strings.Contains(w.Header().Get("Content-Type"), "json") {
+		t.Fatalf("json view: status %d, type %s", w.Code, w.Header().Get("Content-Type"))
+	}
+	var doc struct {
+		View    string      `json:"view"`
+		Total   uint64      `json:"total"`
+		Errored uint64      `json:"errored"`
+		Traces  []*ReqTrace `json:"traces"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("decode: %v\n%s", err, w.Body.String())
+	}
+	if doc.Total != 3 || doc.Errored != 1 || len(doc.Traces) != 3 {
+		t.Errorf("doc = total %d errored %d traces %d", doc.Total, doc.Errored, len(doc.Traces))
+	}
+	if doc.Traces[0].ID != "slow" {
+		t.Errorf("slowest[0] = %s, want slow", doc.Traces[0].ID)
+	}
+
+	// JSON by Accept header.
+	w = get("/debug/requests", "Accept", "application/json")
+	if !strings.Contains(w.Header().Get("Content-Type"), "json") {
+		t.Errorf("Accept: application/json not honored: %s", w.Header().Get("Content-Type"))
+	}
+
+	// Text default: human-readable with phase bars.
+	w = get("/debug/requests?view=recent")
+	body := w.Body.String()
+	if !strings.Contains(body, "bad") || !strings.Contains(body, "recent") {
+		t.Errorf("text view missing content:\n%s", body)
+	}
+
+	// n caps the result count.
+	w = get("/debug/requests?view=recent&n=1&format=json")
+	if err := json.Unmarshal(w.Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Traces) != 1 {
+		t.Errorf("n=1 returned %d traces", len(doc.Traces))
+	}
+
+	// Unknown view is a client error.
+	if w = get("/debug/requests?view=nope"); w.Code != http.StatusBadRequest {
+		t.Errorf("unknown view status %d, want 400", w.Code)
+	}
+}
+
+func TestRuntimeCollector(t *testing.T) {
+	r := NewRegistry()
+	r.AddCollector(RuntimeCollector())
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"sparseorder_go_goroutines",
+		"sparseorder_go_heap_alloc_bytes",
+		"sparseorder_go_gcs_total",
+		"sparseorder_go_gc_pause_seconds_total",
+	} {
+		if !strings.Contains(out, "# TYPE "+want) {
+			t.Errorf("runtime collector output missing %s:\n%s", want, out)
+		}
+	}
+	validateExposition(t, out)
+}

@@ -127,6 +127,11 @@ type Server struct {
 
 	shedC  *obs.Counter // sparseorder_server_shed_total
 	drainC *obs.Counter // sparseorder_server_drain_rejected_total
+
+	// routes holds the per-route pre-resolved metric handles and trace
+	// sinks (nil per entry when Obs is disabled); the request path never
+	// performs a registry lookup.
+	routes map[string]*requestTraceSinks
 }
 
 // New builds the daemon from cfg.
@@ -139,11 +144,20 @@ func New(cfg Config) *Server {
 		drainCh: make(chan struct{}),
 	}
 	s.cache = NewCache(s.gov, cfg.CacheEntries, cfg.Obs)
+	s.routes = map[string]*requestTraceSinks{}
 	if o := cfg.Obs; o != nil && o.Metrics != nil {
 		s.shedC = o.Metrics.Counter("sparseorder_server_shed_total",
 			"requests shed with 429 because the queue or memory governor was saturated")
 		s.drainC = o.Metrics.Counter("sparseorder_server_drain_rejected_total",
 			"requests rejected with 503 because the daemon was draining")
+		for _, route := range []string{"upload", "spmv"} {
+			s.routes[route] = &requestTraceSinks{
+				metrics: newRouteMetrics(o.Metrics, route),
+				ring:    o.Requests,
+				events:  o.Events,
+			}
+		}
+		o.Metrics.AddCollector(s.stateCollector())
 	}
 	return s
 }
@@ -230,6 +244,9 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func (s *Server) writeError(w http.ResponseWriter, status int, class experiments.FailureClass, msg string) {
+	if sw, ok := w.(*statusWriter); ok {
+		sw.class, sw.errmsg = class, msg
+	}
 	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
 		w.Header().Set("Retry-After",
 			strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
@@ -270,10 +287,14 @@ func (s *Server) writeClassified(w http.ResponseWriter, err error, errStatus int
 	s.writeError(w, classStatus(class, errStatus), class, msg)
 }
 
-// statusWriter captures the response code for the request metrics.
+// statusWriter captures the response code — plus, for classified error
+// responses, the failure class and message — so the guard's finish step
+// can stamp the request trace without threading state through handlers.
 type statusWriter struct {
 	http.ResponseWriter
 	status int
+	class  experiments.FailureClass
+	errmsg string
 }
 
 func (w *statusWriter) WriteHeader(code int) {
@@ -292,35 +313,34 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 
 // guard wraps a work handler with the whole robustness envelope, outermost
 // first: panic containment (a handler panic — injected or organic — is
-// classified FailPanic and answered 500, never a torn connection), request
-// metrics and spans, drain rejection, the bounded queue with load
-// shedding, the per-request deadline, and the in-flight count the drain
-// waits on.
+// classified FailPanic and answered 500, never a torn connection), the
+// request trace (id accept/generate + echo, per-phase and total latency
+// into pre-resolved histograms, the trace ring and the access log), drain
+// rejection, the bounded queue with load shedding, the per-request
+// deadline, and the in-flight count the drain waits on. Every metric
+// handle is resolved at construction; with cfg.Obs nil no trace exists
+// and the envelope adds zero allocations.
 func (s *Server) guard(route string, h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	sinks := s.routes[route] // nil when Obs is disabled
+	spanName := "server/" + route
 	return func(rw http.ResponseWriter, r *http.Request) {
 		w := &statusWriter{ResponseWriter: rw}
-		start := time.Now()
-		sp := s.cfg.Obs.Span("server/" + route)
+		rt := s.startTrace(sinks, spanName, r)
+		if rt != nil {
+			// Echo the accepted-or-generated id before any body bytes.
+			w.Header().Set(obs.RequestIDHeader, rt.id())
+		}
 		defer func() {
 			if v := recover(); v != nil {
 				pe := &experiments.PanicError{Value: fmt.Sprint(v), Stack: string(debug.Stack())}
 				if s.cfg.Logf != nil {
-					s.cfg.Logf("%s: %v\n%s", route, v, pe.Stack)
+					s.cfg.Logf("%s [%s]: %v\n%s", route, rt.id(), v, pe.Stack)
 				}
 				if w.status == 0 { // headers not sent yet; answer properly
 					s.writeClassified(w, pe, http.StatusInternalServerError)
 				}
 			}
-			sp.End()
-			if o := s.cfg.Obs; o != nil && o.Metrics != nil {
-				o.Metrics.Counter("sparseorder_server_requests_total",
-					"API requests by route and status code",
-					obs.Label{Key: "route", Value: route},
-					obs.Label{Key: "code", Value: strconv.Itoa(w.status)}).Inc()
-				o.Metrics.Histogram("sparseorder_server_request_seconds",
-					"API request latency by route", obs.DefBuckets,
-					obs.Label{Key: "route", Value: route}).Observe(time.Since(start).Seconds())
-			}
+			rt.finish(w.status, string(w.class), w.errmsg)
 		}()
 
 		// Drain gate: once BeginDrain ran, no new work is admitted. The
@@ -342,13 +362,15 @@ func (s *Server) guard(route string, h func(http.ResponseWriter, *http.Request))
 		// by refusing early, not by queueing unboundedly.
 		if n := s.queued.Add(1); n > int64(s.cfg.Queue)+int64(s.cfg.MaxInflight) {
 			s.queued.Add(-1)
-			s.shed(w, "request queue full")
+			s.shed(w, rt, "request queue full")
 			return
 		}
+		arrived := rt.clock()
 		var release func()
 		select {
 		case s.slots <- struct{}{}:
 			s.queued.Add(-1)
+			rt.phase(phaseQueueWait, arrived)
 			release = func() { <-s.slots }
 		case <-s.drainCh:
 			s.queued.Add(-1)
@@ -374,6 +396,9 @@ func (s *Server) guard(route string, h func(http.ResponseWriter, *http.Request))
 			defer cancel()
 		}
 		ctx = obs.NewContext(ctx, s.cfg.Obs)
+		if rt != nil {
+			ctx = context.WithValue(ctx, traceCtxKey{}, rt)
+		}
 		h(w, r.WithContext(ctx))
 	}
 }
@@ -396,12 +421,12 @@ func (s *Server) deadlineFor(r *http.Request) time.Duration {
 }
 
 // shed refuses a request with 429 + Retry-After.
-func (s *Server) shed(w http.ResponseWriter, why string) {
+func (s *Server) shed(w http.ResponseWriter, rt *requestTrace, why string) {
 	if s.shedC != nil {
 		s.shedC.Inc()
 	}
 	if s.cfg.Logf != nil {
-		s.cfg.Logf("shed: %s", why)
+		s.cfg.Logf("shed [%s]: %s", rt.id(), why)
 	}
 	s.writeError(w, http.StatusTooManyRequests, experiments.FailResource, why)
 }
@@ -420,6 +445,7 @@ type uploadResponse struct {
 
 func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	ctx := r.Context()
+	rt := traceFrom(ctx)
 	body, err := readBody(w, r, s.cfg.MaxBody)
 	if err != nil {
 		var mbe *http.MaxBytesError
@@ -433,6 +459,7 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	}
 	sum := sha256.Sum256(body)
 	key := hex.EncodeToString(sum[:])
+	rt.setKey(key)
 
 	// Content-hash dedupe: a matrix already resident answers immediately —
 	// the amortization the cache exists for.
@@ -445,11 +472,11 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	if err := faultinject.Check(faultinject.ServerDecode, key); err != nil {
-		s.writeClassified(w, err, http.StatusBadRequest)
-		return
-	}
-	mat, err := sparse.ReadMatrixMarketCtx(ctx, bytes.NewReader(body), s.cfg.IngestWorkers)
+	// Decode phase: the injected decode fault is part of the phase so an
+	// injected stall is attributed where the real stall would be.
+	t0 := rt.clock()
+	mat, err := decodeUpload(ctx, key, body, s.cfg.IngestWorkers)
+	rt.phase(phaseDecode, t0)
 	if err != nil {
 		s.writeClassified(w, err, http.StatusBadRequest)
 		return
@@ -463,38 +490,28 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	// Transient working-set admission for the reorder itself; shed instead
 	// of queueing when the governor cannot grant it now.
 	est := experiments.EstimateMatrixBytes(mat.Rows, mat.NNZ(), []reorder.Algorithm{alg})
+	t0 = rt.clock()
 	adm, err := s.gov.TryAcquire(key, est)
+	rt.phase(phaseGovernorWait, t0)
 	if err != nil {
 		if errors.Is(err, experiments.ErrResourceBudget) {
 			s.writeError(w, http.StatusRequestEntityTooLarge, experiments.FailResource, err.Error())
 			return
 		}
-		s.shed(w, err.Error())
+		s.shed(w, rt, err.Error())
 		return
 	}
 	defer adm.Release()
 
-	if err := faultinject.Check(faultinject.ServerReorder, key); err != nil {
+	// Reorder phase, opened before the fault check for the same
+	// attribution reason: an injected server/reorder delay must show up
+	// as reorder time in the trace.
+	t0 = rt.clock()
+	b, perm, timings, err := s.reorderUpload(ctx, key, alg, mat)
+	rt.phase(phaseReorder, t0)
+	if err != nil {
 		s.writeClassified(w, err, http.StatusInternalServerError)
 		return
-	}
-	var (
-		b       *sparse.CSR
-		perm    sparse.Perm
-		timings reorder.PhaseTimings
-	)
-	if alg == reorder.Original {
-		b, perm = mat, sparse.Identity(mat.Rows)
-	} else {
-		b, perm, timings, err = reorder.ApplyTimedCtx(ctx, alg, mat, reorder.Options{
-			Parts:   s.cfg.Threads,
-			Seed:    s.cfg.Seed,
-			Workers: s.cfg.ReorderWorkers,
-		})
-		if err != nil {
-			s.writeClassified(w, err, http.StatusInternalServerError)
-			return
-		}
 	}
 
 	e := &entry{
@@ -532,6 +549,32 @@ func readBody(w http.ResponseWriter, r *http.Request, maxBody int64) ([]byte, er
 	return buf.Bytes(), nil
 }
 
+// decodeUpload is the upload's decode phase: the injected fault site plus
+// the Matrix Market parse.
+func decodeUpload(ctx context.Context, key string, body []byte, workers int) (*sparse.CSR, error) {
+	if err := faultinject.Check(faultinject.ServerDecode, key); err != nil {
+		return nil, err
+	}
+	return sparse.ReadMatrixMarketCtx(ctx, bytes.NewReader(body), workers)
+}
+
+// reorderUpload is the upload's reorder phase: the injected fault site
+// plus the ordering pipeline (identity for Original).
+func (s *Server) reorderUpload(ctx context.Context, key string, alg reorder.Algorithm, mat *sparse.CSR) (*sparse.CSR, sparse.Perm, reorder.PhaseTimings, error) {
+	var timings reorder.PhaseTimings
+	if err := faultinject.Check(faultinject.ServerReorder, key); err != nil {
+		return nil, nil, timings, err
+	}
+	if alg == reorder.Original {
+		return mat, sparse.Identity(mat.Rows), timings, nil
+	}
+	return reorder.ApplyTimedCtx(ctx, alg, mat, reorder.Options{
+		Parts:   s.cfg.Threads,
+		Seed:    s.cfg.Seed,
+		Workers: s.cfg.ReorderWorkers,
+	})
+}
+
 func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request) {
 	key := r.PathValue("key")
 	m, ok := s.cache.Peek(key)
@@ -553,6 +596,8 @@ type spmvResponse struct {
 
 func (s *Server) handleSpMV(w http.ResponseWriter, r *http.Request) {
 	key := r.PathValue("key")
+	rt := traceFrom(r.Context())
+	rt.setKey(key)
 	if err := faultinject.Check(faultinject.ServerSpMV, key); err != nil {
 		s.writeClassified(w, err, http.StatusInternalServerError)
 		return
@@ -566,8 +611,11 @@ func (s *Server) handleSpMV(w http.ResponseWriter, r *http.Request) {
 	defer s.cache.Unpin(e)
 
 	var req spmvRequest
+	t0 := rt.clock()
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBody))
-	if err := dec.Decode(&req); err != nil {
+	err := dec.Decode(&req)
+	rt.phase(phaseDecode, t0)
+	if err != nil {
 		s.writeClassified(w, fmt.Errorf("bad spmv body: %w", err), http.StatusBadRequest)
 		return
 	}
@@ -581,7 +629,7 @@ func (s *Server) handleSpMV(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	y, err := s.multiply(e, req.X)
+	y, err := s.multiply(rt, e, req.X)
 	if err != nil {
 		s.writeClassified(w, err, http.StatusInternalServerError)
 		return
@@ -599,7 +647,14 @@ func (s *Server) handleSpMV(w http.ResponseWriter, r *http.Request) {
 // exact (a permutation of float64 values, no arithmetic), so responses are
 // bit-identical to an SpMV on the unordered matrix and identical between
 // cached and freshly recomputed plans.
-func (s *Server) multiply(e *entry, x []float64) ([]float64, error) {
+func (s *Server) multiply(rt *requestTrace, e *entry, x []float64) ([]float64, error) {
+	t0 := rt.clock()
+	plan, err := e.getPlan(s.cfg.Threads)
+	rt.phase(phasePlanBuild, t0)
+	if err != nil {
+		return nil, err
+	}
+	t0 = rt.clock()
 	xb := x
 	if e.alg.Symmetric() && e.alg != reorder.Original {
 		xb = make([]float64, e.cols)
@@ -608,21 +663,19 @@ func (s *Server) multiply(e *entry, x []float64) ([]float64, error) {
 		}
 	}
 	yb := make([]float64, e.rows)
-	plan, err := e.getPlan(s.cfg.Threads)
-	if err != nil {
-		return nil, err
-	}
 	if err := spmv.Mul2D(e.mat, xb, yb, plan); err != nil {
+		rt.phase(phaseSpMV, t0)
 		return nil, err
 	}
 	e.putPlan(plan)
-	if e.alg == reorder.Original {
-		return yb, nil
+	y := yb
+	if e.alg != reorder.Original {
+		y = make([]float64, e.rows)
+		for i, p := range e.perm {
+			y[p] = yb[i]
+		}
 	}
-	y := make([]float64, e.rows)
-	for i, p := range e.perm {
-		y[p] = yb[i]
-	}
+	rt.phase(phaseSpMV, t0)
 	return y, nil
 }
 
