@@ -7,7 +7,7 @@
 //
 //	loadgen [-addr http://localhost:8080] [-matrices N] [-rows N]
 //	        [-rate RPS] [-duration D] [-zipf-s S] [-seed N]
-//	        [-max-inflight N] [-json]
+//	        [-max-inflight N] [-retries N] [-retry-cap D] [-json]
 //
 // The generator uploads a synthetic corpus (banded / grid / R-MAT mix),
 // then fires SpMV requests on a fixed open-loop schedule — arrivals are
@@ -48,6 +48,8 @@ func run() int {
 	zipfS := flag.Float64("zipf-s", 1.3, "zipf skew exponent (> 1)")
 	seed := flag.Int64("seed", 42, "corpus and arrival-sequence seed")
 	maxInflight := flag.Int("max-inflight", 256, "outstanding-request cap; arrivals beyond it are dropped and counted")
+	retries := flag.Int("retries", 3, "retries per request after a 429/503 shed, honoring Retry-After (negative = off)")
+	retryCap := flag.Duration("retry-cap", 2*time.Second, "maximum single backoff wait between retries")
 	jsonOut := flag.Bool("json", false, "emit the report as JSON on stdout")
 	flag.Parse()
 
@@ -66,6 +68,8 @@ func run() int {
 		ZipfS:       *zipfS,
 		Seed:        *seed,
 		MaxInFlight: *maxInflight,
+		Retries:     *retries,
+		RetryCap:    *retryCap,
 		Logf:        logf,
 	})
 	if err != nil {

@@ -9,8 +9,8 @@
 //
 //	serve [-addr :8080] [-threads N] [-reorder-workers N] [-ingest-workers N]
 //	      [-seed N] [-deadline D] [-max-inflight N] [-queue N] [-max-body SIZE]
-//	      [-membudget SIZE] [-cache-entries N] [-drain-timeout D]
-//	      [-trace-requests N] [-events FILE] [-faults SPEC] [-v]
+//	      [-membudget SIZE] [-cache-entries N] [-store DIR] [-recover-workers N]
+//	      [-drain-timeout D] [-trace-requests N] [-events FILE] [-faults SPEC] [-v]
 //
 // API:
 //
@@ -88,6 +88,8 @@ func run() int {
 	maxBody := flag.String("max-body", "256MiB", "upload body cap")
 	memBudget := flag.String("membudget", "auto", `byte budget shared by cache residency and in-flight reorders: "auto" (from GOMEMLIMIT), "off", or a size like 512MiB`)
 	cacheEntries := flag.Int("cache-entries", 256, "plan cache entry bound")
+	storeDir := flag.String("store", "", "durable plan store directory: uploads persist here and a restart recovers them (empty = in-memory only)")
+	recoverWorkers := flag.Int("recover-workers", 0, "parallel entry loads during warm-restart recovery (0 = GOMAXPROCS)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long a signal-initiated drain waits for in-flight requests")
 	traceRequests := flag.Int("trace-requests", obs.DefaultTraceCap, "completed request traces retained for /debug/requests (negative = tracing off)")
 	eventsPath := flag.String("events", "", "append structured JSONL span, failure and access events to this file")
@@ -143,6 +145,8 @@ func run() int {
 		MaxInflight:    *maxInflight,
 		Queue:          *queue,
 		CacheEntries:   *cacheEntries,
+		StoreDir:       *storeDir,
+		RecoverWorkers: *recoverWorkers,
 		Obs:            o,
 		Logf:           lg.Infof,
 	}
@@ -164,7 +168,12 @@ func run() int {
 		cfg.MemBudget = b
 	}
 
-	srv := server.New(cfg)
+	srv, err := server.New(cfg)
+	if err != nil {
+		lg.Errorf("%v", err)
+		return exitFatal
+	}
+	defer srv.Close()
 	if g := srv.Governor(); g != nil {
 		lg.Printf("memory governor: %s budget", experiments.FormatBytes(g.Budget()))
 	} else {
@@ -175,6 +184,24 @@ func run() int {
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
 	lg.Printf("serving on %s (POST /matrices, POST /spmv/{key}; /metrics, /debug/requests, /healthz, /readyz)", *addr)
+
+	// Warm-restart recovery runs behind the live listener: /readyz answers
+	// "recovering" (503) until the persisted plans are rebuilt, while
+	// /healthz — and the API itself, at worst cache-cold — serve throughout.
+	rctx, rcancel := context.WithCancel(context.Background())
+	defer rcancel()
+	if *storeDir != "" {
+		lg.Printf("durable plan store: %s (recovering in background)", *storeDir)
+		go func() {
+			st, err := srv.Recover(rctx)
+			if err != nil && rctx.Err() == nil {
+				lg.Errorf("store recovery: %v (serving cold)", err)
+				return
+			}
+			lg.Printf("store recovery: %d recovered, %d quarantined, %d skipped of %d entries in %.3fs",
+				st.Recovered, st.Quarantined, st.Skipped, st.Scanned, st.Seconds)
+		}()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -193,6 +220,7 @@ func run() int {
 	// so requests queued inside the server are released with 503 before
 	// Shutdown starts waiting on connections.
 	lg.Printf("signal received; draining (timeout %v)", *drainTimeout)
+	rcancel() // stop any in-progress recovery; its entries stay on disk
 	srv.BeginDrain()
 	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()

@@ -53,9 +53,14 @@ const (
 	// and the rename, keyed by the destination base name. FileWrite
 	// additionally leaves a genuinely torn temp file behind (half the
 	// payload) so cleanup paths are exercised against realistic debris.
-	FileWrite  Point = "fsutil/write"
-	FileSync   Point = "fsutil/sync"
-	FileRename Point = "fsutil/rename"
+	// FileDirSync fires before the parent-directory fsync that makes the
+	// completed rename itself durable, keyed by the directory base name:
+	// when it fires the destination already holds the new content, but
+	// the caller must treat the write as non-durable.
+	FileWrite   Point = "fsutil/write"
+	FileSync    Point = "fsutil/sync"
+	FileRename  Point = "fsutil/rename"
+	FileDirSync Point = "fsutil/dirsync"
 	// ReorderGraph, ReorderOrder and ReorderPermute fire at the phase
 	// boundaries of reorder.ComputeTimedCtx / ApplyTimedCtx, keyed by
 	// "alg/rows x cols/nnz" so the schedule is stable per (matrix, alg).
@@ -72,6 +77,20 @@ const (
 	ServerReorder     Point = "server/reorder"
 	ServerCacheInsert Point = "server/cache"
 	ServerSpMV        Point = "server/spmv"
+	// StoreWrite, StoreSync, StoreRead and StoreCorrupt cover the serving
+	// daemon's persistent plan store (internal/server.Store), all keyed by
+	// the entry's content hash. StoreWrite fires before an entry is
+	// serialised (nothing lands on disk); StoreSync fires after the atomic
+	// write completed but before the store reports it durable (the entry
+	// exists but the writer must assume it might not survive a crash);
+	// StoreRead fires before an entry file is read during warm-restart
+	// recovery; StoreCorrupt fires after a successful write and flips one
+	// payload byte on disk, manufacturing the exact corruption the
+	// recovery checksum pass must quarantine.
+	StoreWrite   Point = "store/write"
+	StoreSync    Point = "store/fsync"
+	StoreRead    Point = "store/read"
+	StoreCorrupt Point = "store/corrupt"
 )
 
 // Mode is what happens when a fault fires.

@@ -3,25 +3,36 @@
 package fsutil
 
 import (
+	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
+	"syscall"
 
 	"sparseorder/internal/faultinject"
 )
 
 // WriteFileAtomic writes data to path so that readers never observe a
 // partial file: the bytes go to a temporary file in the same directory,
-// are fsynced, and the temp file is renamed over path. After a crash the
+// are fsynced, the temp file is renamed over path, and the parent
+// directory is fsynced so the rename itself is durable. After a crash the
 // path holds either the previous content or the new content in full,
-// never a torn mix. The containing directory is fsynced best-effort so
-// the rename itself survives a crash on filesystems that require it.
+// never a torn mix — and once WriteFileAtomic returns nil, the new
+// content survives power loss (a renamed file whose directory entry was
+// never flushed can silently vanish; the directory fsync closes that
+// gap). Filesystems that reject fsync on directories (EINVAL/ENOTSUP)
+// are tolerated: the rename is still atomic there and no stronger
+// guarantee is available.
 //
-// Three fault points cover the failure modes the atomicity contract must
+// Four fault points cover the failure modes the atomicity contract must
 // survive — fsutil/write (a short write: half the payload lands before
-// the error), fsutil/sync (fsync failure) and fsutil/rename (rename
-// failure). On every one of them the destination keeps its previous
-// content and the temp file is removed; with no fault plan armed each
-// hook is a single nil check.
+// the error), fsutil/sync (temp-file fsync failure), fsutil/rename
+// (rename failure) and fsutil/dirsync (parent-directory fsync failure).
+// On the first three the destination keeps its previous content and the
+// temp file is removed. On fsutil/dirsync the destination already holds
+// the new content — the rename happened — but the error tells the caller
+// the write may not be durable yet. With no fault plan armed each hook is
+// a single nil check.
 func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-")
@@ -73,18 +84,35 @@ func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
 		return err
 	}
 	tmpName = "" // renamed away; nothing to clean up
-	syncDir(dir)
+	if err := SyncDir(dir); err != nil {
+		return fmt.Errorf("fsutil: sync dir after rename of %s: %w", filepath.Base(path), err)
+	}
 	return nil
 }
 
-// syncDir fsyncs a directory so a just-completed rename is durable. Errors
-// are ignored: some platforms and filesystems reject fsync on directories,
-// and the rename is still atomic without it.
-func syncDir(dir string) {
+// SyncDir fsyncs a directory so a just-completed rename (or unlink) in it
+// is durable. EINVAL and ENOTSUP are swallowed — some platforms and
+// filesystems reject fsync on directories, and the rename is still atomic
+// without it — but every other failure is reported: a caller that just
+// renamed a checkpoint into place must not claim durability when the
+// directory entry may never reach the disk.
+func SyncDir(dir string) error {
+	if faultinject.Enabled() {
+		if ferr := faultinject.Check(faultinject.FileDirSync, filepath.Base(dir)); ferr != nil {
+			return ferr
+		}
+	}
 	d, err := os.Open(dir)
 	if err != nil {
-		return
+		return err
 	}
-	d.Sync()
-	d.Close()
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		if errors.Is(serr, syscall.EINVAL) || errors.Is(serr, syscall.ENOTSUP) {
+			return nil
+		}
+		return serr
+	}
+	return cerr
 }

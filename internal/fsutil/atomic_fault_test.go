@@ -99,6 +99,54 @@ func TestWriteFileAtomicFaultPaths(t *testing.T) {
 	}
 }
 
+// TestWriteFileAtomicDirSyncFault covers the durability gap the parent
+// directory fsync closes: when fsutil/dirsync fires, the rename has
+// already happened — the destination holds the NEW content and no temp
+// debris remains — but WriteFileAtomic must report the error, because a
+// rename whose directory entry was never flushed can vanish on power
+// loss and the caller must not record the write as durable.
+func TestWriteFileAtomicDirSyncFault(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "artifact.txt")
+	if err := WriteFileAtomic(path, []byte("previous\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	faultinject.Activate(faultinject.NewPlan(1,
+		faultinject.Rule{Point: faultinject.FileDirSync, Mode: faultinject.ModeENOSPC, Rate: 1}))
+	t.Cleanup(faultinject.Deactivate)
+	next := []byte("renamed but possibly not durable\n")
+	err := WriteFileAtomic(path, next, 0o644)
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("err = %v, want wrapping ENOSPC", err)
+	}
+
+	// Unlike the pre-rename faults, the new content IS in place (the
+	// rename completed); only its durability is in doubt.
+	got, rerr := os.ReadFile(path)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if string(got) != string(next) {
+		t.Errorf("destination = %q after dirsync fault, want the renamed content", got)
+	}
+	checkDirClean(t, dir, "artifact.txt")
+
+	// Disarmed, the same write succeeds and reports durable.
+	faultinject.Deactivate()
+	if err := WriteFileAtomic(path, next, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSyncDirMissing pins the error path: syncing a directory that does
+// not exist reports the open failure instead of swallowing it.
+func TestSyncDirMissing(t *testing.T) {
+	if err := SyncDir(filepath.Join(t.TempDir(), "absent")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("err = %v, want ErrNotExist", err)
+	}
+}
+
 // TestWriteFileAtomicFreshFileFault checks the failure contract when no
 // previous file exists: a failed atomic write must leave the directory
 // empty, not a half-written destination.

@@ -62,6 +62,14 @@ type Config struct {
 	// launched, bounding generator memory when the server stalls.
 	// Default 4x NumCPU, minimum 64.
 	MaxInFlight int
+	// Retries is how many times a 429/503 response is retried before it
+	// counts as the request's outcome, honoring the server's Retry-After
+	// hint with capped exponential backoff and deterministic jitter.
+	// Sheds are the daemon working as designed, not client failures.
+	// Default 3; negative disables retries.
+	Retries int
+	// RetryCap bounds a single backoff wait. Default 2s.
+	RetryCap time.Duration
 	// Client overrides the HTTP client (tests inject the httptest one).
 	Client *http.Client
 	// Logf, when set, receives progress lines.
@@ -87,6 +95,15 @@ func (c *Config) fill() {
 	if c.MaxInFlight <= 0 {
 		c.MaxInFlight = 64
 	}
+	if c.Retries == 0 {
+		c.Retries = 3
+	}
+	if c.Retries < 0 {
+		c.Retries = 0
+	}
+	if c.RetryCap <= 0 {
+		c.RetryCap = 2 * time.Second
+	}
 	if c.Client == nil {
 		c.Client = &http.Client{Timeout: 60 * time.Second}
 	}
@@ -105,8 +122,11 @@ type Report struct {
 	Seed       int64    `json:"seed"`
 	OfferedRPS float64  `json:"offered_rps"` // arrivals fired / duration
 	Dropped    int64    `json:"dropped"`     // arrivals shed by MaxInFlight
-	CrossCheck bool     `json:"cross_check"` // server histograms agree
-	Problems   []string `json:"problems,omitempty"`
+	// RetriesTotal is the count of extra attempts issued after 429/503
+	// responses across all routes.
+	RetriesTotal int64    `json:"retries_total"`
+	CrossCheck   bool     `json:"cross_check"` // server histograms agree
+	Problems     []string `json:"problems,omitempty"`
 
 	Routes []RouteReport `json:"routes"`
 }
@@ -115,16 +135,29 @@ type Report struct {
 // the server-side view scraped from /metrics.
 type RouteReport struct {
 	Route    string           `json:"route"`
-	Requests int64            `json:"requests"`
+	Requests int64            `json:"requests"` // HTTP attempts, retries included
 	Codes    map[string]int64 `json:"codes"`    // status code -> count
 	Failures int64            `json:"failures"` // transport errors (no response)
 
-	// Client-observed seconds.
+	// Retries counts extra attempts after 429/503; Retried counts logical
+	// requests that needed at least one.
+	Retries int64 `json:"retries"`
+	Retried int64 `json:"retried_requests"`
+
+	// Client-observed seconds, per attempt (what the server also sees).
 	P50  float64 `json:"p50_s"`
 	P95  float64 `json:"p95_s"`
 	P99  float64 `json:"p99_s"`
 	Max  float64 `json:"max_s"`
 	Mean float64 `json:"mean_s"`
+
+	// Retry-amplified seconds, per logical request: first attempt start to
+	// final response, backoff waits included — what a caller that retries
+	// sheds actually waits. Identical to the per-attempt quantiles when
+	// nothing retried.
+	AmplifiedP50 float64 `json:"amplified_p50_s"`
+	AmplifiedP95 float64 `json:"amplified_p95_s"`
+	AmplifiedP99 float64 `json:"amplified_p99_s"`
 
 	Server *ServerView `json:"server,omitempty"`
 }
@@ -149,11 +182,21 @@ type PhaseView struct {
 	MeanS float64 `json:"mean_s"`
 }
 
-// sample is one completed request observed by the client.
+// sample is one completed HTTP attempt observed by the client. Each retry
+// is its own sample — the server's histograms also count every attempt,
+// so the cross-check's exact count parity survives retries.
 type sample struct {
 	route   string
 	seconds float64
 	status  int // 0 = transport failure
+}
+
+// logicalSample is one logical request: its final status and the
+// retry-amplified latency from first attempt start to final response.
+type logicalSample struct {
+	route   string
+	seconds float64
+	retries int
 }
 
 // Run executes a full load-generation pass: corpus build, uploads, the
@@ -283,12 +326,14 @@ type runState struct {
 
 	mu       sync.Mutex
 	samples  []sample
+	logical  []logicalSample
 	bodies   map[string][]byte // matrix key -> first successful y-body hash
 	problems []string
 
-	launched int64
-	dropped  int64
-	reqSeq   uint64
+	launched   int64
+	dropped    int64
+	reqSeq     uint64
+	logicalSeq uint64
 }
 
 func (st *runState) problemf(format string, args ...any) {
@@ -315,14 +360,15 @@ func (st *runState) nextID() string {
 	return fmt.Sprintf("lg-%d-%d", st.cfg.Seed, n)
 }
 
-// do issues one request, records the client-observed latency sample, and
-// verifies the X-Request-Id echo. Returns the response body for callers
-// that need it (nil on transport failure).
-func (st *runState) do(ctx context.Context, route, method, url string, body []byte) (int, []byte) {
+// do issues one HTTP attempt, records the client-observed latency sample,
+// and verifies the X-Request-Id echo. Returns the status, the response
+// body (nil on transport failure) and the parsed Retry-After hint, if the
+// server sent one.
+func (st *runState) do(ctx context.Context, route, method, url string, body []byte) (int, []byte, time.Duration) {
 	req, err := http.NewRequestWithContext(ctx, method, url, bytes.NewReader(body))
 	if err != nil {
 		st.problemf("%s: build request: %v", route, err)
-		return 0, nil
+		return 0, nil, 0
 	}
 	id := st.nextID()
 	req.Header.Set(obs.RequestIDHeader, id)
@@ -334,7 +380,7 @@ func (st *runState) do(ctx context.Context, route, method, url string, body []by
 		if ctx.Err() == nil {
 			st.problemf("%s: %v", route, err)
 		}
-		return 0, nil
+		return 0, nil, 0
 	}
 	payload, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
@@ -344,7 +390,87 @@ func (st *runState) do(ctx context.Context, route, method, url string, body []by
 	if got := resp.Header.Get(obs.RequestIDHeader); got != id {
 		st.problemf("%s: request id not echoed: sent %q got %q", route, id, got)
 	}
-	return resp.StatusCode, payload
+	var retryAfter time.Duration
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+			retryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return resp.StatusCode, payload, retryAfter
+}
+
+// retryBase is the first backoff step; each retry doubles it up to
+// Config.RetryCap.
+const retryBase = 100 * time.Millisecond
+
+// doRetry issues one logical request, retrying 429/503 responses — the
+// daemon shedding load as designed — up to cfg.Retries times. The wait
+// before each retry honors the server's Retry-After hint, never sleeping
+// less than it, under capped exponential backoff plus deterministic
+// jitter (a pure function of seed, request sequence and attempt, so two
+// runs with one seed replay byte-identical schedules and concurrent
+// retriers still decorrelate). Every attempt is recorded as its own
+// latency sample; the logical request's amplified latency — first attempt
+// start to final response, waits included — is recorded separately.
+func (st *runState) doRetry(ctx context.Context, route, method, url string, body []byte) (int, []byte) {
+	t0 := time.Now()
+	seq := st.seqFor(route)
+	var status int
+	var payload []byte
+	retries := 0
+	for {
+		var ra time.Duration
+		status, payload, ra = st.do(ctx, route, method, url, body)
+		if (status != http.StatusTooManyRequests && status != http.StatusServiceUnavailable) ||
+			retries >= st.cfg.Retries || ctx.Err() != nil {
+			break
+		}
+		retries++
+		wait := retryBase << (retries - 1)
+		if wait > st.cfg.RetryCap {
+			wait = st.cfg.RetryCap
+		}
+		if ra > wait {
+			wait = ra
+			if wait > st.cfg.RetryCap {
+				wait = st.cfg.RetryCap
+			}
+		}
+		// Up to +25% deterministic jitter so synchronized sheds don't
+		// retry in lockstep.
+		wait += time.Duration(jitterFrac(st.cfg.Seed, seq, retries) * float64(wait) * 0.25)
+		select {
+		case <-ctx.Done():
+			return status, payload
+		case <-time.After(wait):
+		}
+	}
+	st.mu.Lock()
+	st.logical = append(st.logical, logicalSample{
+		route: route, seconds: time.Since(t0).Seconds(), retries: retries,
+	})
+	st.mu.Unlock()
+	return status, payload
+}
+
+// seqFor returns a per-logical-request sequence number for jitter
+// derivation, without consuming a request id.
+func (st *runState) seqFor(string) uint64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.logicalSeq++
+	return st.logicalSeq
+}
+
+// jitterFrac maps (seed, seq, attempt) to [0, 1) with a splitmix64 round:
+// deterministic for replay, decorrelated across requests and attempts.
+func jitterFrac(seed int64, seq uint64, attempt int) float64 {
+	z := uint64(seed) ^ (seq * 0x9e3779b97f4a7c15) ^ (uint64(attempt) << 32)
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / float64(1<<53)
 }
 
 // upload pushes the whole corpus (a few at a time) and records each
@@ -364,7 +490,7 @@ func (st *runState) upload(ctx context.Context, corpus []*matrixSpec) error {
 		go func(spec *matrixSpec) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			status, body := st.do(ctx, "upload", http.MethodPost, st.cfg.BaseURL+"/matrices", spec.mm)
+			status, body := st.doRetry(ctx, "upload", http.MethodPost, st.cfg.BaseURL+"/matrices", spec.mm)
 			if status != http.StatusOK {
 				mu.Lock()
 				if firstErr == nil {
@@ -446,7 +572,7 @@ loop:
 // spmv issues one multiply and checks cross-request determinism: every
 // successful response for the same matrix must hash identically.
 func (st *runState) spmv(ctx context.Context, spec *matrixSpec) {
-	status, body := st.do(ctx, "spmv", http.MethodPost, st.cfg.BaseURL+"/spmv/"+spec.key, spec.x)
+	status, body := st.doRetry(ctx, "spmv", http.MethodPost, st.cfg.BaseURL+"/spmv/"+spec.key, spec.x)
 	if status != http.StatusOK {
 		return
 	}
@@ -487,9 +613,13 @@ func scrape(ctx context.Context, cfg Config) ([]promSample, error) {
 // runs the cross-check.
 func (st *runState) summarize(rep *Report, before, after []promSample) {
 	byRoute := map[string][]sample{}
+	logicalByRoute := map[string][]logicalSample{}
 	st.mu.Lock()
 	for _, s := range st.samples {
 		byRoute[s.route] = append(byRoute[s.route], s)
+	}
+	for _, s := range st.logical {
+		logicalByRoute[s.route] = append(logicalByRoute[s.route], s)
 	}
 	st.mu.Unlock()
 
@@ -521,6 +651,20 @@ func (st *runState) summarize(rep *Report, before, after []promSample) {
 			}
 			rr.Mean = sum / float64(n)
 		}
+
+		var ampl []float64
+		for _, ls := range logicalByRoute[route] {
+			rr.Retries += int64(ls.retries)
+			if ls.retries > 0 {
+				rr.Retried++
+			}
+			ampl = append(ampl, ls.seconds)
+		}
+		sort.Float64s(ampl)
+		rr.AmplifiedP50 = sampleQuantile(ampl, 0.50)
+		rr.AmplifiedP95 = sampleQuantile(ampl, 0.95)
+		rr.AmplifiedP99 = sampleQuantile(ampl, 0.99)
+		rep.RetriesTotal += rr.Retries
 
 		sv, ok := serverView(before, after, route)
 		if ok {
@@ -562,7 +706,7 @@ func serverView(before, after []promSample, route string) (*ServerView, bool) {
 	if h.count > 0 {
 		sv.Mean = h.sum / float64(h.count)
 	}
-	for _, ph := range []string{"queue_wait", "governor_wait", "decode", "reorder", "plan_build", "spmv"} {
+	for _, ph := range []string{"queue_wait", "governor_wait", "decode", "reorder", "plan_build", "spmv", "store_write"} {
 		pw := map[string]string{"route": route, "phase": ph}
 		p1, ok := extractHist(after, metricPhaseSeconds, pw)
 		if !ok {
@@ -642,9 +786,14 @@ func truncate(b []byte, n int) string {
 func (r *Report) RenderText(w io.Writer) {
 	fmt.Fprintf(w, "loadgen: %s  rate=%.0f/s dur=%.1fs zipf_s=%.2f corpus=%d seed=%d\n",
 		r.Target, r.RateRPS, r.DurationS, r.ZipfS, r.Matrices, r.Seed)
-	fmt.Fprintf(w, "offered %.1f req/s, %d dropped by in-flight cap\n", r.OfferedRPS, r.Dropped)
+	fmt.Fprintf(w, "offered %.1f req/s, %d dropped by in-flight cap, %d retries after sheds\n",
+		r.OfferedRPS, r.Dropped, r.RetriesTotal)
 	for _, rt := range r.Routes {
 		fmt.Fprintf(w, "\n%-6s  %d requests (%d transport failures)\n", rt.Route, rt.Requests, rt.Failures)
+		if rt.Retries > 0 {
+			fmt.Fprintf(w, "        %d retries across %d requests; amplified p50 %8.3fms  p95 %8.3fms  p99 %8.3fms\n",
+				rt.Retries, rt.Retried, rt.AmplifiedP50*1e3, rt.AmplifiedP95*1e3, rt.AmplifiedP99*1e3)
+		}
 		var codes []string
 		for c, n := range rt.Codes {
 			codes = append(codes, fmt.Sprintf("%s:%d", c, n))

@@ -154,7 +154,10 @@ func TestBuildCorpusDeterministic(t *testing.T) {
 // internal/server.
 func TestRunAgainstServer(t *testing.T) {
 	o := &obs.Obs{Metrics: obs.NewRegistry(), Requests: obs.NewTraceRing(64)}
-	srv := server.New(server.Config{Threads: 1, Obs: o})
+	srv, err := server.New(server.Config{Threads: 1, Obs: o})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
@@ -223,7 +226,10 @@ func TestRunAgainstServer(t *testing.T) {
 // Obs has no metrics registry serves an empty /metrics document, so the
 // cross-check must fail rather than silently pass.
 func TestRunDetectsMissingMetrics(t *testing.T) {
-	srv := server.New(server.Config{Threads: 1, Obs: &obs.Obs{}})
+	srv, err := server.New(server.Config{Threads: 1, Obs: &obs.Obs{}})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 

@@ -63,7 +63,10 @@ func RunServingBench() ([]experiments.ObsMicroResult, error) {
 
 	var out []experiments.ObsMicroResult
 	for _, mode := range modes {
-		srv := New(Config{Threads: 1, Obs: mode.obs()})
+		srv, err := New(Config{Threads: 1, Obs: mode.obs()})
+		if err != nil {
+			return nil, err
+		}
 		h := srv.Handler()
 
 		// Upload once; every benchmark iteration is then a warm cache hit.

@@ -247,6 +247,42 @@ func (c *Cache) Insert(e *entry) error {
 	return nil
 }
 
+// insertRecovered makes a store-recovered entry resident using the
+// governor admission the recovery pass already acquired for it, without
+// evicting anything: recovery admits byte-weighted in LRU order up front,
+// so an entry that doesn't fit is skipped there, never forced in here.
+// Callers insert oldest-first, so PushFront leaves the LRU list in true
+// recency order. It reports whether the key is resident afterwards — true
+// also when a live upload won the race and inserted the key first (the
+// pre-acquired admission is released; the resident entry serves).
+func (c *Cache) insertRecovered(e *entry, adm *experiments.Admission) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.byKey[e.key] != nil {
+		if adm != nil {
+			adm.Release()
+		}
+		return true
+	}
+	if c.lru.Len() >= c.maxEntries {
+		if adm != nil {
+			adm.Release()
+		}
+		return false
+	}
+	if adm != nil {
+		c.adms[e.key] = adm
+	}
+	e.elem = c.lru.PushFront(e)
+	c.byKey[e.key] = e
+	c.bytes += e.bytes
+	if c.insertC != nil {
+		c.insertC.Inc()
+	}
+	c.setGauges()
+	return true
+}
+
 // evictOldestUnpinned drops the least-recently-used entry whose pin count
 // is zero, releasing its governor admission. It reports whether anything
 // was evicted. c.mu held.

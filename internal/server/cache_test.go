@@ -216,7 +216,7 @@ func TestServerPinnedEvictionEndToEnd(t *testing.T) {
 	// entries resident at once.
 	budget := e1 + t2 + e2/2
 
-	srv := New(Config{Threads: 1, MemBudget: budget, Obs: newTestObs()})
+	srv := mustNew(t, Config{Threads: 1, MemBudget: budget, Obs: newTestObs()})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 

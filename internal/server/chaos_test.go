@@ -60,7 +60,7 @@ func TestServerChaosSoak(t *testing.T) {
 	// Ground truth from a fault-free daemon with a DIFFERENT reorder worker
 	// count: plan bytes must agree anyway (the determinism contract).
 	mats := make([]*chaosMatrix, len(srcs))
-	ref := New(Config{Threads: threads, ReorderWorkers: 3, Obs: newTestObs()})
+	ref := mustNew(t, Config{Threads: threads, ReorderWorkers: 3, Obs: newTestObs()})
 	rts := httptest.NewServer(ref.Handler())
 	for i, a := range srcs {
 		body := mmBytes(t, a)
@@ -80,7 +80,7 @@ func TestServerChaosSoak(t *testing.T) {
 
 	// The soak daemon: tight enough that shedding, eviction and governor
 	// saturation all genuinely occur.
-	srv := New(Config{
+	srv := mustNew(t, Config{
 		Threads:      threads,
 		MaxInflight:  2,
 		Queue:        2,

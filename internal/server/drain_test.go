@@ -44,7 +44,7 @@ func TestGracefulDrain(t *testing.T) {
 	baseline := runtime.NumGoroutine()
 
 	o := newTestObs()
-	srv := New(Config{Threads: 1, MaxInflight: 1, Queue: 2, Obs: o})
+	srv := mustNew(t, Config{Threads: 1, MaxInflight: 1, Queue: 2, Obs: o})
 	ts := httptest.NewServer(srv.Handler())
 
 	// The in-flight upload is held inside the work section by a 700ms
@@ -152,7 +152,7 @@ func TestGracefulDrain(t *testing.T) {
 // TestWaitIdleTimeout: an in-flight request that outlives the drain window
 // surfaces as an error (cmd/serve turns it into exit code 1).
 func TestWaitIdleTimeout(t *testing.T) {
-	srv := New(Config{Threads: 1, Obs: newTestObs()})
+	srv := mustNew(t, Config{Threads: 1, Obs: newTestObs()})
 	srv.inflight.Add(1)
 	defer srv.inflight.Add(-1)
 	srv.BeginDrain()

@@ -37,12 +37,15 @@ const (
 	// phaseSpMV is the multiply itself, including the permutation
 	// gather/scatter.
 	phaseSpMV
+	// phaseStoreWrite is the durable-store persist after a successful
+	// reorder: serialization plus the atomic write and its fsyncs.
+	phaseStoreWrite
 
 	nPhases
 )
 
 var phaseNames = [nPhases]string{
-	"queue_wait", "governor_wait", "decode", "reorder", "plan_build", "spmv",
+	"queue_wait", "governor_wait", "decode", "reorder", "plan_build", "spmv", "store_write",
 }
 
 // Metric family names of the serving path.

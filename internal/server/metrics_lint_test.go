@@ -23,7 +23,7 @@ func TestServerMetricNamesLint(t *testing.T) {
 	o := newTestObs()
 	o.Requests = obs.NewTraceRing(8)
 	o.Metrics.AddCollector(obs.RuntimeCollector())
-	srv := New(Config{Threads: 1, Obs: o})
+	srv := mustNew(t, Config{Threads: 1, Obs: o})
 	h := srv.Handler()
 
 	// Drive upload, spmv, a 4xx and a 404 so every labelled series the

@@ -67,6 +67,18 @@ type Config struct {
 	CacheEntries int
 	// RetryAfter is the hint sent with 429/503 responses. 0 means 1s.
 	RetryAfter time.Duration
+	// StoreDir, when non-empty, enables the durable plan store: every
+	// admitted upload is persisted under its content-hash key and a
+	// restarted daemon recovers its plans from disk (call Recover after
+	// New). Empty means in-memory only — a restart forgets everything.
+	StoreDir string
+	// RecoverWorkers bounds the parallel payload loads during
+	// warm-restart recovery. 0 means GOMAXPROCS; negative means serial.
+	RecoverWorkers int
+	// StoreAccessInterval throttles persisted last-access stamps to one
+	// per key per interval (the stamps only restore LRU order across
+	// restarts). 0 means 1s; negative stamps every access.
+	StoreAccessInterval time.Duration
 	// Obs receives request spans and metrics; nil disables telemetry.
 	Obs *obs.Obs
 	// Logf, when set, receives one line per admission anomaly (sheds,
@@ -105,6 +117,12 @@ func (c Config) withDefaults() Config {
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
 	}
+	if c.StoreAccessInterval == 0 {
+		c.StoreAccessInterval = time.Second
+	}
+	if c.StoreAccessInterval < 0 {
+		c.StoreAccessInterval = 0
+	}
 	return c
 }
 
@@ -116,6 +134,14 @@ type Server struct {
 	cfg   Config
 	gov   *experiments.Governor
 	cache *Cache
+	store *store // nil without -store; nil-safe methods
+
+	// recovering is true from construction with a store until Recover
+	// completes; /readyz answers 503 "recovering" while it holds so load
+	// balancers hold traffic during warm-start. recoverRemaining counts
+	// store entries not yet processed, for the /readyz body.
+	recovering       atomic.Bool
+	recoverRemaining atomic.Int64
 
 	slots    chan struct{}
 	queued   atomic.Int64
@@ -134,8 +160,12 @@ type Server struct {
 	routes map[string]*requestTraceSinks
 }
 
-// New builds the daemon from cfg.
-func New(cfg Config) *Server {
+// New builds the daemon from cfg. The only failure mode is an unusable
+// StoreDir (unwritable, not a directory); a storeless config never errs.
+// With a store configured the daemon starts in the recovering state —
+// call Recover (typically in a goroutine, with the HTTP listener already
+// up) to load persisted plans and flip /readyz to ready.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:     cfg,
@@ -144,6 +174,14 @@ func New(cfg Config) *Server {
 		drainCh: make(chan struct{}),
 	}
 	s.cache = NewCache(s.gov, cfg.CacheEntries, cfg.Obs)
+	if cfg.StoreDir != "" {
+		st, err := openStore(cfg.StoreDir, cfg.Seed, cfg.Threads, cfg.StoreAccessInterval, cfg.Obs, cfg.Logf)
+		if err != nil {
+			return nil, err
+		}
+		s.store = st
+		s.recovering.Store(true)
+	}
 	s.routes = map[string]*requestTraceSinks{}
 	if o := cfg.Obs; o != nil && o.Metrics != nil {
 		s.shedC = o.Metrics.Counter("sparseorder_server_shed_total",
@@ -159,8 +197,15 @@ func New(cfg Config) *Server {
 		}
 		o.Metrics.AddCollector(s.stateCollector())
 	}
-	return s
+	return s, nil
 }
+
+// Close releases the store's file handles (the access log). Safe on a
+// storeless daemon and after a failed New.
+func (s *Server) Close() error { return s.store.close() }
+
+// Recovering reports whether warm-restart recovery is still running.
+func (s *Server) Recovering() bool { return s.recovering.Load() }
 
 // Governor exposes the admission governor (nil when no budget applies);
 // cmd/serve reports it at startup.
@@ -440,6 +485,7 @@ type uploadResponse struct {
 	Ordering       string  `json:"ordering"`
 	Cached         bool    `json:"cached"`
 	Deduplicated   bool    `json:"deduplicated,omitempty"`
+	Persisted      bool    `json:"persisted,omitempty"`
 	ReorderSeconds float64 `json:"reorder_seconds"`
 }
 
@@ -462,11 +508,22 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	rt.setKey(key)
 
 	// Content-hash dedupe: a matrix already resident answers immediately —
-	// the amortization the cache exists for.
+	// the amortization the cache exists for. A resident entry missing from
+	// the store (its persist failed, or it was quarantined last restart)
+	// is re-persisted here, so durability self-heals on re-upload.
 	if m, ok := s.cache.Peek(key); ok {
+		persisted := s.store.has(key)
+		if s.store != nil && !persisted {
+			if e := s.cache.Get(key); e != nil {
+				persisted = s.persistEntry(rt, e)
+				s.cache.Unpin(e)
+			}
+		}
+		s.store.touch(key)
 		writeJSON(w, http.StatusOK, uploadResponse{
 			Key: key, Rows: m.Rows, Cols: m.Cols, NNZ: m.NNZ,
 			Ordering: m.Ordering, Cached: true, Deduplicated: true,
+			Persisted:      persisted,
 			ReorderSeconds: m.ReorderSeconds,
 		})
 		return
@@ -532,10 +589,32 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	} else {
 		cached = true
 	}
+	persisted := s.persistEntry(rt, e)
 	writeJSON(w, http.StatusOK, uploadResponse{
 		Key: key, Rows: e.rows, Cols: e.cols, NNZ: e.nnz,
-		Ordering: string(alg), Cached: cached, ReorderSeconds: e.reorderSeconds,
+		Ordering: string(alg), Cached: cached, Persisted: persisted,
+		ReorderSeconds: e.reorderSeconds,
 	})
+}
+
+// persistEntry writes e to the durable store, attributing the time to the
+// store_write phase. A persist failure degrades, never fails the upload:
+// the plan serves from memory, the error is logged and counted, and the
+// cost of the lost durability is a cold cache miss on the next restart.
+func (s *Server) persistEntry(rt *requestTrace, e *entry) bool {
+	if s.store == nil {
+		return false
+	}
+	t0 := rt.clock()
+	err := s.store.put(e)
+	rt.phase(phaseStoreWrite, t0)
+	if err != nil {
+		if s.cfg.Logf != nil {
+			s.cfg.Logf("store: persist %.12s: %v", e.key, err)
+		}
+		return false
+	}
+	return true
 }
 
 // readBody reads the capped request body.
@@ -609,6 +688,7 @@ func (s *Server) handleSpMV(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.cache.Unpin(e)
+	s.store.touch(key) // keep the persisted LRU order fresh
 
 	var req spmvRequest
 	t0 := rt.clock()
@@ -686,14 +766,18 @@ type healthState struct {
 	Queued   int64  `json:"queued"`
 	InFlight int64  `json:"in_flight"`
 	Cached   int    `json:"cached_entries"`
+	// StoreRemaining is the count of store entries warm-restart recovery
+	// has not yet processed; nonzero only while status is "recovering".
+	StoreRemaining int64 `json:"store_entries_remaining,omitempty"`
 }
 
 func (s *Server) state() healthState {
 	return healthState{
-		Draining: s.draining.Load(),
-		Queued:   s.queued.Load(),
-		InFlight: s.inflight.Load(),
-		Cached:   s.cache.Len(),
+		Draining:       s.draining.Load(),
+		Queued:         s.queued.Load(),
+		InFlight:       s.inflight.Load(),
+		Cached:         s.cache.Len(),
+		StoreRemaining: s.recoverRemaining.Load(),
 	}
 }
 
@@ -709,15 +793,22 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, st)
 }
 
-// handleReadyz is load acceptance: 503 while draining or while admission
-// is saturated (governor committed or queue full), 200 otherwise — the
-// flip a load balancer uses to route around an overloaded or stopping
-// instance.
+// handleReadyz is load acceptance: 503 while draining, while warm-restart
+// recovery is rebuilding plans from the store, or while admission is
+// saturated (governor committed or queue full), 200 otherwise — the flip
+// a load balancer uses to route around an overloaded, warming or stopping
+// instance. The body names the state and, during recovery, the entries
+// remaining.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	st := s.state()
 	switch {
 	case st.Draining:
 		st.Status = "draining"
+	case s.recovering.Load():
+		// Warm-restart recovery is still rebuilding plans from the store:
+		// hold load-balancer traffic (clients that arrive anyway are
+		// served — at worst a cache miss) until the cache is warm.
+		st.Status = "recovering"
 	case s.gov.Saturated():
 		st.Status = "overloaded"
 	case st.Queued >= int64(s.cfg.Queue)+int64(s.cfg.MaxInflight):

@@ -48,6 +48,18 @@ func newTestObs() *obs.Obs {
 	return &obs.Obs{Metrics: obs.NewRegistry()}
 }
 
+// mustNew builds a daemon, failing the test on a construction error (the
+// only source is an unusable StoreDir).
+func mustNew(t testing.TB, cfg Config) *Server {
+	t.Helper()
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
 func postUpload(t *testing.T, ts *httptest.Server, body []byte) (*http.Response, uploadResponse) {
 	t.Helper()
 	res, err := ts.Client().Post(ts.URL+"/matrices", "text/plain", bytes.NewReader(body))
@@ -133,7 +145,7 @@ func TestUploadAndSpMV(t *testing.T) {
 		gen.Banded(200, 4, 0.8, 1), // banded + balanced: RCM territory
 		gen.RMAT(8, 8, 7),          // skewed: GP territory
 	}
-	srv := New(Config{Threads: 2, Obs: newTestObs()})
+	srv := mustNew(t, Config{Threads: 2, Obs: newTestObs()})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
@@ -175,7 +187,7 @@ func TestUploadAndSpMV(t *testing.T) {
 
 		// Byte-identity, cached vs freshly recomputed: a second daemon that
 		// reorders the same bytes from scratch serves the identical response.
-		srv2 := New(Config{Threads: 2, Obs: newTestObs()})
+		srv2 := mustNew(t, Config{Threads: 2, Obs: newTestObs()})
 		ts2 := httptest.NewServer(srv2.Handler())
 		if res, up2 := postUpload(t, ts2, body); res.StatusCode != http.StatusOK || up2.Ordering != up.Ordering {
 			t.Fatalf("matrix %d: recompute upload %d ordering %q vs %q", mi, res.StatusCode, up2.Ordering, up.Ordering)
@@ -224,7 +236,7 @@ func TestRectangularServed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := New(Config{Threads: 2, Obs: newTestObs()})
+	srv := mustNew(t, Config{Threads: 2, Obs: newTestObs()})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
@@ -253,7 +265,7 @@ func TestRectangularServed(t *testing.T) {
 // injected decode fault 400/error, injected SpMV panic 500/panic, deadline
 // expiry 504/timeout.
 func TestClassifiedFailures(t *testing.T) {
-	srv := New(Config{Threads: 1, Obs: newTestObs()})
+	srv := mustNew(t, Config{Threads: 1, Obs: newTestObs()})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
@@ -328,7 +340,7 @@ func TestClassifiedFailures(t *testing.T) {
 // request is shed with 429 + Retry-After, and /readyz reports overload
 // once the governor saturates.
 func TestShedQueueFull(t *testing.T) {
-	srv := New(Config{Threads: 1, MaxInflight: 1, Queue: -1, Obs: newTestObs()})
+	srv := mustNew(t, Config{Threads: 1, MaxInflight: 1, Queue: -1, Obs: newTestObs()})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
@@ -380,7 +392,7 @@ func TestShedQueueFull(t *testing.T) {
 // 429 and flips /readyz to overloaded, and an upload whose working set can
 // never fit is refused permanently with 413/resource.
 func TestGovernorShedsUploads(t *testing.T) {
-	srv := New(Config{Threads: 1, MemBudget: 1 << 20, Obs: newTestObs()})
+	srv := mustNew(t, Config{Threads: 1, MemBudget: 1 << 20, Obs: newTestObs()})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
@@ -438,7 +450,7 @@ func TestGovernorShedsUploads(t *testing.T) {
 // TestHealthEndpoints: healthz stays 200 through drain (liveness), readyz
 // flips 503 (acceptance); both report the drain in their body.
 func TestHealthEndpoints(t *testing.T) {
-	srv := New(Config{Threads: 1, Obs: newTestObs()})
+	srv := mustNew(t, Config{Threads: 1, Obs: newTestObs()})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
@@ -472,7 +484,7 @@ func TestHealthEndpoints(t *testing.T) {
 // TestTelemetryMounted: the daemon's handler exposes the same telemetry
 // surface as cmd/study -http, including the server's own request counters.
 func TestTelemetryMounted(t *testing.T) {
-	srv := New(Config{Threads: 1, Obs: newTestObs()})
+	srv := mustNew(t, Config{Threads: 1, Obs: newTestObs()})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 

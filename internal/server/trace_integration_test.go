@@ -30,7 +30,7 @@ func TestReorderDelayAttributable(t *testing.T) {
 
 	o := newTestObs()
 	o.Requests = obs.NewTraceRing(16)
-	srv := New(Config{Threads: 1, Obs: o})
+	srv := mustNew(t, Config{Threads: 1, Obs: o})
 	h := srv.Handler()
 
 	const reqID = "diagnose-me-42"
@@ -120,7 +120,7 @@ func histSum(t *testing.T, text, family string, labels ...string) float64 {
 // serving path: with cfg.Obs nil every tracing primitive the request path
 // calls is a nil-receiver no-op that allocates nothing.
 func TestNilObsRequestPathAllocFree(t *testing.T) {
-	srv := New(Config{Threads: 1})
+	srv := mustNew(t, Config{Threads: 1})
 	if len(srv.routes) != 0 {
 		t.Fatalf("nil-Obs server built %d route sinks, want 0", len(srv.routes))
 	}
@@ -180,7 +180,7 @@ func TestRunServingBench(t *testing.T) {
 func TestTraceRingSeesEveryOutcome(t *testing.T) {
 	o := newTestObs()
 	o.Requests = obs.NewTraceRing(16)
-	srv := New(Config{Threads: 1, Obs: o})
+	srv := mustNew(t, Config{Threads: 1, Obs: o})
 	h := srv.Handler()
 
 	// Success.
@@ -237,7 +237,7 @@ func TestAccessLogEmitted(t *testing.T) {
 	o := newTestObs()
 	o.Events = ev
 	o.Requests = obs.NewTraceRing(4)
-	srv := New(Config{Threads: 1, Obs: o})
+	srv := mustNew(t, Config{Threads: 1, Obs: o})
 	h := srv.Handler()
 
 	req := httptest.NewRequest(http.MethodPost, "/matrices", bytes.NewReader(mmBytes(t, gen.Banded(200, 4, 0.8, 1))))
